@@ -1,0 +1,159 @@
+// Command qsqbench regenerates the paper's tables and figures from the
+// simulated testbed.
+//
+// Usage:
+//
+//	qsqbench -exp fig5      # Figure 5: inter-frame delay panels
+//	qsqbench -exp table2    # Table 2: delay statistics
+//	qsqbench -exp fig6      # Figure 6: three-system throughput
+//	qsqbench -exp fig7      # Figure 7: LRB vs random cost model
+//	qsqbench -exp ablation  # cost-model and replication ablations
+//	qsqbench -exp overhead  # §5.2 overhead analysis
+//	qsqbench -exp all
+//
+// Horizons are configurable; the defaults match the paper (1000 s for
+// Figure 6, 7000 s for Figure 7).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"quasaq/internal/experiments"
+	"quasaq/internal/simtime"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment: fig5|table2|fig6|fig7|ablation|dynamic|overhead|all")
+		seed       = flag.Int64("seed", 11, "workload seed")
+		frames     = flag.Int("frames", 1000, "fig5: trace length in frames")
+		contention = flag.Int("contention", 45, "fig5: competing streams at high contention")
+		fig6Secs   = flag.Float64("fig6-horizon", 1000, "fig6: simulated seconds")
+		fig7Secs   = flag.Float64("fig7-horizon", 7000, "fig7: simulated seconds")
+		queries    = flag.Int("overhead-queries", 500, "overhead: planning calls to time")
+		csvDir     = flag.String("csv", "", "also write series CSVs into this directory")
+	)
+	flag.Parse()
+	if err := run(*exp, *seed, *frames, *contention, *fig6Secs, *fig7Secs, *queries, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "qsqbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, seed int64, frames, contention int, fig6Secs, fig7Secs float64, queries int, csvDir string) error {
+	all := exp == "all"
+	if all || exp == "fig5" || exp == "table2" {
+		cfg := experiments.Fig5Config{Seed: seed, Frames: frames, Contention: contention}
+		res, err := experiments.RunFig5(cfg)
+		if err != nil {
+			return err
+		}
+		if all || exp == "fig5" {
+			fmt.Println(experiments.FormatFig5(res))
+		}
+		if all || exp == "table2" {
+			fmt.Println(experiments.FormatTable2(experiments.Table2(res)))
+		}
+		if csvDir != "" {
+			path, err := experiments.SaveCSV(csvDir, "fig5.csv", func(w io.Writer) error {
+				return experiments.WriteFig5CSV(w, res)
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+	if all || exp == "fig6" {
+		cfg := experiments.DefaultFig6Config()
+		cfg.Seed = seed
+		cfg.Horizon = simtime.Seconds(fig6Secs)
+		series, err := experiments.RunFig6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatThroughput(
+			fmt.Sprintf("Figure 6: throughput of different video database systems (%.0f s)", fig6Secs), series))
+		if csvDir != "" {
+			path, err := experiments.SaveCSV(csvDir, "fig6.csv", func(w io.Writer) error {
+				return experiments.WriteSeriesCSV(w, series)
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+	if all || exp == "fig7" {
+		cfg := experiments.DefaultFig7Config()
+		cfg.Seed = seed
+		cfg.Horizon = simtime.Seconds(fig7Secs)
+		series, err := experiments.RunFig7(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatThroughput(
+			fmt.Sprintf("Figure 7: QuaSAQ with different cost models (%.0f s)", fig7Secs), series))
+		if csvDir != "" {
+			path, err := experiments.SaveCSV(csvDir, "fig7.csv", func(w io.Writer) error {
+				return experiments.WriteSeriesCSV(w, series)
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+	if all || exp == "ablation" {
+		cfg := experiments.DefaultFig6Config()
+		cfg.Seed = seed
+		cfg.Horizon = simtime.Seconds(fig6Secs)
+		var series []*experiments.Series
+		for _, sys := range []experiments.SystemKind{
+			experiments.SysQuaSAQ, experiments.SysQuaSAQRandom,
+			experiments.SysQuaSAQMinSum, experiments.SysQuaSAQStatic,
+		} {
+			s, err := experiments.RunThroughput(sys, cfg)
+			if err != nil {
+				return err
+			}
+			series = append(series, s)
+		}
+		single := cfg
+		single.SingleCopy = true
+		s, err := experiments.RunThroughput(experiments.SysQuaSAQ, single)
+		if err != nil {
+			return err
+		}
+		s.System = experiments.SysQuaSAQ // labelled below
+		fmt.Println(experiments.FormatThroughput("Ablations: cost models", series))
+		fmt.Printf("Single-copy replication ablation: steady outstanding %.1f (vs %.1f with the full ladder)\n",
+			s.SteadyOutstanding(), series[0].SteadyOutstanding())
+	}
+	if all || exp == "dynamic" {
+		cfg := experiments.DefaultFig6Config()
+		cfg.Seed = seed
+		cfg.Horizon = simtime.Seconds(fig6Secs)
+		res, err := experiments.RunDynamicReplication(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatDynamic(res))
+	}
+	if all || exp == "overhead" {
+		res, err := experiments.RunOverhead(seed, queries)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatOverhead(res))
+	}
+	switch exp {
+	case "all", "fig5", "table2", "fig6", "fig7", "ablation", "dynamic", "overhead":
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}

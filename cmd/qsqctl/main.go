@@ -1,0 +1,64 @@
+// Command qsqctl is the client for quasaqd: it sends one protocol command
+// and prints the response.
+//
+// Usage:
+//
+//	qsqctl [-addr host:port] COMMAND [ARGS...]
+//
+// Examples:
+//
+//	qsqctl VIDEOS
+//	qsqctl SEARCH "SELECT * FROM videos SIMILAR TO 'v003' LIMIT 3"
+//	qsqctl QUERY srv-a "SELECT * FROM videos WHERE id = 1 WITH QOS (resolution >= VCD, resolution <= CIF)"
+//	qsqctl PLAY srv-b v007 tv
+//	qsqctl STATUS
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7766", "quasaqd address")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: qsqctl [-addr host:port] COMMAND [ARGS...]")
+		os.Exit(2)
+	}
+	if err := run(*addr, strings.Join(flag.Args(), " ")); err != nil {
+		fmt.Fprintln(os.Stderr, "qsqctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, command string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintln(conn, command); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "OK" {
+			return nil
+		}
+		if strings.HasPrefix(line, "ERR ") {
+			return fmt.Errorf("%s", strings.TrimPrefix(line, "ERR "))
+		}
+		fmt.Println(line)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("connection closed before terminator")
+}

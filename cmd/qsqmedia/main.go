@@ -1,0 +1,346 @@
+// Command qsqmedia works with the toy MPEG-1-like bitstreams at byte level:
+// encode synthetic corpus videos, inspect stream structure, apply
+// frame-dropping filters, transcode, and encrypt/decrypt — the same server
+// activities QuaSAQ composes into plans, runnable by hand.
+//
+// Usage:
+//
+//	qsqmedia encode -video 1 -tier t1 -frames 120 -o clip.qsm
+//	qsqmedia info clip.qsm
+//	qsqmedia drop -strategy all-b -i clip.qsm -o small.qsm
+//	qsqmedia transcode -tier modem -i clip.qsm -o tiny.qsm
+//	qsqmedia crypt -alg aes-ctr -key secret -i tiny.qsm -o tiny.enc
+//	qsqmedia crypt -alg aes-ctr -key secret -i tiny.enc -o tiny.dec
+//	qsqmedia stream -i clip.qsm -loss 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"quasaq/internal/cryptoact"
+	"quasaq/internal/media"
+	"quasaq/internal/mpeg"
+	"quasaq/internal/transcode"
+	"quasaq/internal/transport"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: qsqmedia encode|info|drop|transcode|crypt|stream [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "encode":
+		err = cmdEncode(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "drop":
+		err = cmdDrop(os.Args[2:])
+	case "transcode":
+		err = cmdTranscode(os.Args[2:])
+	case "crypt":
+		err = cmdCrypt(os.Args[2:])
+	case "stream":
+		err = cmdStream(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsqmedia:", err)
+		os.Exit(1)
+	}
+}
+
+func tierByName(name string) (media.LinkClass, error) {
+	switch name {
+	case "lan", "original":
+		return media.LinkLAN, nil
+	case "t1":
+		return media.LinkT1, nil
+	case "dsl":
+		return media.LinkDSL, nil
+	case "modem":
+		return media.LinkModem, nil
+	default:
+		return 0, fmt.Errorf("unknown tier %q (lan|t1|dsl|modem)", name)
+	}
+}
+
+func corpusVideo(id int) (*media.Video, error) {
+	corpus := media.StandardCorpus(42)
+	if id < 1 || id > len(corpus) {
+		return nil, fmt.Errorf("video id %d out of range 1..%d", id, len(corpus))
+	}
+	return corpus[id-1], nil
+}
+
+func cmdEncode(args []string) error {
+	fs := flag.NewFlagSet("encode", flag.ContinueOnError)
+	videoID := fs.Int("video", 1, "corpus video id (1-15)")
+	tier := fs.String("tier", "t1", "quality tier: lan|t1|dsl|modem")
+	frames := fs.Int("frames", 0, "frame limit (0 = whole video)")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	v, err := corpusVideo(*videoID)
+	if err != nil {
+		return err
+	}
+	class, err := tierByName(*tier)
+	if err != nil {
+		return err
+	}
+	w, closeW, err := openOut(*out)
+	if err != nil {
+		return err
+	}
+	defer closeW()
+	va := media.NewVariant(media.LadderQuality(class, v.FrameRate))
+	return mpeg.Encode(w, v, va, *frames)
+}
+
+func cmdInfo(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("info needs exactly one file")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	p, err := mpeg.NewParser(f)
+	if err != nil {
+		return err
+	}
+	info := p.Info()
+	fmt.Printf("quality:    %v\n", info.Quality)
+	fmt.Printf("frames:     %d (header)\n", info.FrameCount)
+	fmt.Printf("gop length: %d\n", info.GOPLen)
+	counts := map[media.FrameKind]int{}
+	var bytes int64
+	for {
+		fr, err := p.NextFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		counts[fr.Kind]++
+		bytes += int64(fr.Size())
+	}
+	fmt.Printf("pictures:   I=%d P=%d B=%d\n", counts[media.FrameI], counts[media.FrameP], counts[media.FrameB])
+	fmt.Printf("payload:    %d bytes\n", bytes)
+	return nil
+}
+
+func cmdDrop(args []string) error {
+	fs := flag.NewFlagSet("drop", flag.ContinueOnError)
+	strategy := fs.String("strategy", "all-b", "no-drop|half-b|all-b|b-and-p")
+	in := fs.String("i", "", "input file")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var drop transport.DropStrategy
+	switch *strategy {
+	case "no-drop":
+		drop = transport.DropNone
+	case "half-b":
+		drop = transport.DropHalfB
+	case "all-b":
+		drop = transport.DropAllB
+	case "b-and-p":
+		drop = transport.DropBAndP
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	r, closeR, err := openIn(*in)
+	if err != nil {
+		return err
+	}
+	defer closeR()
+	w, closeW, err := openOut(*out)
+	if err != nil {
+		return err
+	}
+	defer closeW()
+	// Apply the strategy against the default GOP pattern, which the toy
+	// encoder always uses.
+	gop := media.DefaultGOP()
+	st, err := mpeg.Filter(r, w, func(_ media.FrameKind, i int) bool {
+		return drop.Keep(gop, i)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "kept %d/%d frames, dropped %.1f%% of bytes\n",
+		st.FramesOut, st.FramesIn, 100*st.DropRatio())
+	return nil
+}
+
+func cmdTranscode(args []string) error {
+	fs := flag.NewFlagSet("transcode", flag.ContinueOnError)
+	tier := fs.String("tier", "dsl", "target tier: t1|dsl|modem")
+	videoID := fs.Int("video", 1, "corpus video id the stream was encoded from")
+	in := fs.String("i", "", "input file")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	class, err := tierByName(*tier)
+	if err != nil {
+		return err
+	}
+	v, err := corpusVideo(*videoID)
+	if err != nil {
+		return err
+	}
+	r, closeR, err := openIn(*in)
+	if err != nil {
+		return err
+	}
+	defer closeR()
+	w, closeW, err := openOut(*out)
+	if err != nil {
+		return err
+	}
+	defer closeW()
+	return transcode.Bytes(v, r, w, media.LadderQuality(class, v.FrameRate))
+}
+
+func cmdCrypt(args []string) error {
+	fs := flag.NewFlagSet("crypt", flag.ContinueOnError)
+	alg := fs.String("alg", "aes-ctr", "xor-stream|aes-ctr|aes-ctr-x3")
+	key := fs.String("key", "", "key material")
+	in := fs.String("i", "", "input file")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var chosen *cryptoact.Algorithm
+	for _, a := range cryptoact.Catalog() {
+		if a.Name == *alg {
+			a := a
+			chosen = &a
+		}
+	}
+	if chosen == nil {
+		return fmt.Errorf("unknown algorithm %q", *alg)
+	}
+	c, err := cryptoact.NewCipher(*chosen, []byte(*key))
+	if err != nil {
+		return err
+	}
+	r, closeR, err := openIn(*in)
+	if err != nil {
+		return err
+	}
+	defer closeR()
+	w, closeW, err := openOut(*out)
+	if err != nil {
+		return err
+	}
+	defer closeW()
+	buf := make([]byte, 64*1024)
+	for {
+		n, rerr := r.Read(buf)
+		if n > 0 {
+			c.XORKeyStream(buf[:n], buf[:n])
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return werr
+			}
+		}
+		if rerr == io.EOF {
+			return nil
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+}
+
+// cmdStream pushes a bitstream through the RTP-like transport at byte
+// level: parse frames, packetize at the MTU, drop packets at the given
+// rate, reassemble, and report delivery quality.
+func cmdStream(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ContinueOnError)
+	in := fs.String("i", "", "input bitstream")
+	loss := fs.Float64("loss", 0.01, "packet loss probability")
+	seed := fs.Int64("seed", 1, "loss pattern seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r, closeR, err := openIn(*in)
+	if err != nil {
+		return err
+	}
+	defer closeR()
+	p, err := mpeg.NewParser(r)
+	if err != nil {
+		return err
+	}
+	info := p.Info()
+	pk := transport.NewPacketizer(info.Quality.FrameRate, 0)
+	de := transport.NewDepacketizer()
+	rng := rand.New(rand.NewSource(*seed))
+	lost := 0
+	var okBytes int64
+	for {
+		fr, err := p.NextFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for _, pkt := range pk.Packetize(fr.Index, fr.Kind, fr.Payload) {
+			if rng.Float64() < *loss {
+				lost++
+				continue
+			}
+			// Round-trip the wire image, as a real network stack would.
+			img := pkt.Marshal()
+			back, err := transport.UnmarshalPacket(img)
+			if err != nil {
+				return err
+			}
+			if out := de.Push(back); out != nil {
+				okBytes += int64(len(out.Data))
+			}
+		}
+	}
+	fmt.Printf("packets:    %d sent, %d lost (%.2f%%)\n",
+		pk.PacketsSent(), lost, 100*float64(lost)/float64(pk.PacketsSent()))
+	fmt.Printf("frames:     %d assembled, %d damaged\n", de.FramesAssembled(), de.FramesDamaged())
+	fmt.Printf("bytes:      %d delivered intact\n", okBytes)
+	return nil
+}
+
+func openIn(path string) (io.Reader, func(), error) {
+	if path == "" {
+		return os.Stdin, func() {}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+func openOut(path string) (io.Writer, func(), error) {
+	if path == "" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}

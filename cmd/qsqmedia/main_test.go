@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// pipeline exercises the full byte-level activity chain the way a QuaSAQ
+// plan would: encode -> drop -> transcode -> encrypt -> decrypt.
+func TestPipeline(t *testing.T) {
+	dir := t.TempDir()
+	clip := filepath.Join(dir, "clip.qsm")
+	small := filepath.Join(dir, "small.qsm")
+	tiny := filepath.Join(dir, "tiny.qsm")
+	enc := filepath.Join(dir, "tiny.enc")
+	dec := filepath.Join(dir, "tiny.dec")
+
+	if err := cmdEncode([]string{"-video", "1", "-tier", "t1", "-frames", "60", "-o", clip}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDrop([]string{"-strategy", "all-b", "-i", clip, "-o", small}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTranscode([]string{"-tier", "modem", "-video", "1", "-i", small, "-o", tiny}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCrypt([]string{"-alg", "aes-ctr", "-key", "secret", "-i", tiny, "-o", enc}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCrypt([]string{"-alg", "aes-ctr", "-key", "secret", "-i", enc, "-o", dec}); err != nil {
+		t.Fatal(err)
+	}
+
+	sizeOf := func(p string) int64 {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+	if !(sizeOf(clip) > sizeOf(small) && sizeOf(small) > sizeOf(tiny)) {
+		t.Fatalf("sizes not decreasing: %d %d %d", sizeOf(clip), sizeOf(small), sizeOf(tiny))
+	}
+	ct, _ := os.ReadFile(enc)
+	pt, _ := os.ReadFile(tiny)
+	if bytes.Equal(ct, pt) {
+		t.Fatal("encryption is the identity")
+	}
+	back, _ := os.ReadFile(dec)
+	if !bytes.Equal(back, pt) {
+		t.Fatal("decrypt did not restore the stream")
+	}
+	if err := cmdInfo([]string{dec}); err != nil {
+		t.Fatalf("decrypted stream not parseable: %v", err)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	if err := cmdEncode([]string{"-video", "99", "-o", os.DevNull}); err == nil {
+		t.Fatal("bad video id accepted")
+	}
+	if err := cmdEncode([]string{"-video", "1", "-tier", "8k", "-o", os.DevNull}); err == nil {
+		t.Fatal("bad tier accepted")
+	}
+}
+
+func TestDropValidation(t *testing.T) {
+	if err := cmdDrop([]string{"-strategy", "every-other-i"}); err == nil {
+		t.Fatal("bad strategy accepted")
+	}
+}
+
+func TestCryptValidation(t *testing.T) {
+	if err := cmdCrypt([]string{"-alg", "rot13"}); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+}
+
+func TestInfoValidation(t *testing.T) {
+	if err := cmdInfo(nil); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := cmdInfo([]string{"/nonexistent"}); err == nil {
+		t.Fatal("unreadable file accepted")
+	}
+}
+
+func TestTranscodeRejectsUpscale(t *testing.T) {
+	dir := t.TempDir()
+	clip := filepath.Join(dir, "c.qsm")
+	if err := cmdEncode([]string{"-video", "1", "-tier", "dsl", "-frames", "30", "-o", clip}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTranscode([]string{"-tier", "t1", "-video", "1", "-i", clip, "-o", os.DevNull}); err == nil {
+		t.Fatal("upscale transcode accepted")
+	}
+}
+
+func TestStreamCommand(t *testing.T) {
+	dir := t.TempDir()
+	clip := filepath.Join(dir, "clip.qsm")
+	if err := cmdEncode([]string{"-video", "1", "-tier", "t1", "-frames", "120", "-o", clip}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStream([]string{"-i", clip, "-loss", "0.02", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStream([]string{"-i", "/nonexistent"}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}

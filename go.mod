@@ -1,0 +1,3 @@
+module quasaq
+
+go 1.22

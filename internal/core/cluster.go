@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"quasaq/internal/gara"
+	"quasaq/internal/media"
+	"quasaq/internal/metadata"
+	"quasaq/internal/qos"
+	"quasaq/internal/replication"
+	"quasaq/internal/simtime"
+	"quasaq/internal/storage"
+	"quasaq/internal/vdbms"
+)
+
+// Cluster assembles the distributed substrate QuaSAQ runs on: one gara
+// node (CPU scheduler + outbound link + counters) and one blob store per
+// site, the federated metadata directory, and the VDBMS content engine.
+// The paper's deployment had three such servers on separate Ethernets (§5).
+type Cluster struct {
+	Sim    *simtime.Simulator
+	Nodes  map[string]*gara.Node
+	Blobs  map[string]*storage.BlobStore
+	Dir    *metadata.Directory
+	Engine *vdbms.Engine
+
+	siteNames []string
+	active    int // live streaming sessions (delivery count, not leases)
+}
+
+// sessionStarted and sessionEnded maintain the outstanding-session count;
+// every service path (QuaSAQ, VDBMS, VDBMS+QoS API) calls them exactly once
+// per delivery.
+func (c *Cluster) sessionStarted() { c.active++ }
+func (c *Cluster) sessionEnded()   { c.active-- }
+
+// NewCluster builds a cluster with the given sites, each with identical
+// capacity.
+func NewCluster(sim *simtime.Simulator, sites []string, capacity gara.NodeCapacity) (*Cluster, error) {
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("core: no sites")
+	}
+	c := &Cluster{
+		Sim:       sim,
+		Nodes:     make(map[string]*gara.Node, len(sites)),
+		Blobs:     make(map[string]*storage.BlobStore, len(sites)),
+		Dir:       metadata.NewDirectory(),
+		Engine:    vdbms.NewEngine(),
+		siteNames: append([]string(nil), sites...),
+	}
+	for _, s := range sites {
+		if _, dup := c.Nodes[s]; dup {
+			return nil, fmt.Errorf("core: duplicate site %q", s)
+		}
+		c.Nodes[s] = gara.NewNode(sim, s, capacity)
+		c.Blobs[s] = storage.NewBlobStore(0)
+	}
+	return c, nil
+}
+
+// TestbedCluster builds the paper's three-server deployment (§5).
+func TestbedCluster(sim *simtime.Simulator) *Cluster {
+	c, err := NewCluster(sim, []string{"srv-a", "srv-b", "srv-c"}, gara.DefaultCapacity())
+	if err != nil {
+		panic(err) // static configuration cannot fail
+	}
+	return c
+}
+
+// Sites returns the site names in configuration order.
+func (c *Cluster) Sites() []string { return c.siteNames }
+
+// Node returns the gara node of a site.
+func (c *Cluster) Node(site string) (*gara.Node, error) {
+	n, ok := c.Nodes[site]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown site %q", site)
+	}
+	return n, nil
+}
+
+// LoadCorpus inserts the videos into the content engine and runs offline
+// replication + QoS sampling per policy.
+func (c *Cluster) LoadCorpus(videos []*media.Video, pol replication.Policy) (int64, error) {
+	for _, v := range videos {
+		if err := c.Engine.InsertVideo(v); err != nil {
+			return 0, err
+		}
+	}
+	sites := make([]replication.Site, 0, len(c.siteNames))
+	for _, s := range c.siteNames {
+		sites = append(sites, replication.Site{Name: s, Blobs: c.Blobs[s]})
+	}
+	return replication.Replicate(videos, sites, c.Dir, pol)
+}
+
+// Usage implements SiteUsage over the cluster's nodes.
+func (c *Cluster) Usage(site string) (usage, capacity qos.ResourceVector) {
+	n, ok := c.Nodes[site]
+	if !ok {
+		return qos.ResourceVector{}, qos.ResourceVector{}
+	}
+	return n.Usage(), n.Capacity()
+}
+
+// Capacity returns the (uniform) per-site capacity vector.
+func (c *Cluster) Capacity() qos.ResourceVector {
+	return c.Nodes[c.siteNames[0]].Capacity()
+}
+
+// OutstandingSessions returns the number of live streaming sessions across
+// the cluster — the "outstanding sessions" series of Figures 6a and 7a.
+// Relay leases of remote plans belong to their session and are not counted
+// separately.
+func (c *Cluster) OutstandingSessions() int { return c.active }

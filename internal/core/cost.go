@@ -1,0 +1,189 @@
+package core
+
+import (
+	"sort"
+
+	"quasaq/internal/qos"
+	"quasaq/internal/simtime"
+)
+
+// SiteUsage reports a site's current resource usage and capacity: the
+// bucket fillings U_i and heights R_i of Eq. 1.
+type SiteUsage func(site string) (usage, capacity qos.ResourceVector)
+
+// CostModel orders candidate plans best-first under current system status.
+// The runtime cost evaluator "sorts the plans in ascending cost order ...
+// the first plan in this order that satisfies the QoS requirements is used"
+// (§3.4); admission control then walks the order.
+type CostModel interface {
+	Name() string
+	Order(plans []*Plan, usage SiteUsage) []*Plan
+}
+
+// planCost is a helper: stable sort of plans by a scalar cost.
+func sortByCost(plans []*Plan, cost func(*Plan) float64) []*Plan {
+	type scored struct {
+		p *Plan
+		c float64
+	}
+	s := make([]scored, len(plans))
+	for i, p := range plans {
+		s[i] = scored{p, cost(p)}
+	}
+	sort.SliceStable(s, func(i, j int) bool { return s[i].c < s[j].c })
+	out := make([]*Plan, len(plans))
+	for i := range s {
+		out[i] = s[i].p
+	}
+	return out
+}
+
+// LRB is the Lowest Resource Bucket cost model (§3.4, Eq. 1): each plan is
+// charged max_i (U_i + r_i) / R_i over every bucket it touches — for remote
+// plans, the buckets of both the source and the delivery site. The plan
+// leading to the smallest maximum bucket height wins, which evenly
+// distributes the filling rate of all buckets: "since no queries can be
+// served if we have an overflowing bucket, we should prevent any single
+// bucket from growing faster than the others".
+type LRB struct{}
+
+// Name returns "lrb".
+func (LRB) Name() string { return "lrb" }
+
+// Cost evaluates Eq. 1 for one plan under the given usage.
+func (LRB) Cost(p *Plan, usage SiteUsage) float64 {
+	du, dc := usage(p.DeliverySite)
+	f := p.DeliveryDemand.MaxFillRatio(du, dc)
+	if p.Remote() {
+		su, sc := usage(p.Replica.Site)
+		if sf := p.SourceDemand.MaxFillRatio(su, sc); sf > f {
+			f = sf
+		}
+	}
+	return f
+}
+
+// Order sorts ascending by Eq. 1.
+func (m LRB) Order(plans []*Plan, usage SiteUsage) []*Plan {
+	return sortByCost(plans, func(p *Plan) float64 { return m.Cost(p, usage) })
+}
+
+// Random is the baseline evaluator of §5.2: "a simple randomized algorithm
+// [that] randomly selects one execution plan from the search space" — "a
+// frequently-used query optimization strategy with fair performance". It
+// picks exactly one plan: if that plan cannot be admitted the query is
+// rejected, unlike the ranked models which walk their order.
+type Random struct {
+	rng *simtime.Rand
+}
+
+// NewRandom creates the randomized evaluator with its own stream.
+func NewRandom(rng *simtime.Rand) *Random { return &Random{rng: rng} }
+
+// Name returns "random".
+func (*Random) Name() string { return "random" }
+
+// Order returns the plans in uniformly random order.
+func (m *Random) Order(plans []*Plan, _ SiteUsage) []*Plan {
+	out := make([]*Plan, len(plans))
+	perm := m.rng.Perm(len(plans))
+	for i, j := range perm {
+		out[i] = plans[j]
+	}
+	return out
+}
+
+// SingleShot marks the model as try-one-plan-only.
+func (*Random) SingleShot() bool { return true }
+
+// singleShot is implemented by cost models whose ranking must not be
+// walked: only the first plan is attempted.
+type singleShot interface{ SingleShot() bool }
+
+// MinSum is an ablation model: charge the *sum* of normalized bucket
+// demands instead of the maximum. It prefers globally light plans but,
+// unlike LRB, ignores how full each bucket already is on a per-axis basis.
+type MinSum struct{}
+
+// Name returns "min-sum".
+func (MinSum) Name() string { return "min-sum" }
+
+// Order sorts ascending by summed fill contribution.
+func (MinSum) Order(plans []*Plan, usage SiteUsage) []*Plan {
+	return sortByCost(plans, func(p *Plan) float64 {
+		_, dc := usage(p.DeliverySite)
+		c := p.DeliveryDemand.SumRatio(dc)
+		if p.Remote() {
+			_, sc := usage(p.Replica.Site)
+			c += p.SourceDemand.SumRatio(sc)
+		}
+		return c
+	})
+}
+
+// StaticCheapest is an ablation model that ignores runtime contention
+// entirely — the "static cost estimates in traditional D-DBMS" the paper
+// argues against (§2 item 4): plans are ranked by their demand relative to
+// an empty site.
+type StaticCheapest struct{}
+
+// Name returns "static".
+func (StaticCheapest) Name() string { return "static" }
+
+// Order sorts ascending by zero-usage fill ratio.
+func (StaticCheapest) Order(plans []*Plan, usage SiteUsage) []*Plan {
+	var zero qos.ResourceVector
+	return sortByCost(plans, func(p *Plan) float64 {
+		_, dc := usage(p.DeliverySite)
+		c := p.DeliveryDemand.MaxFillRatio(zero, dc)
+		if p.Remote() {
+			_, sc := usage(p.Replica.Site)
+			if sf := p.SourceDemand.MaxFillRatio(zero, sc); sf > c {
+				c = sf
+			}
+		}
+		return c
+	})
+}
+
+// Gain maps a plan to the benefit G of servicing the query with it,
+// realizing the configurable efficiency framework E = G / C(r) of §3.4. The
+// throughput goal uses a constant gain; a user-satisfaction goal can weight
+// the delivered quality.
+type Gain func(*Plan) float64
+
+// UnitGain is the throughput-oriented gain: every serviced query counts 1.
+func UnitGain(*Plan) float64 { return 1 }
+
+// QualityGain rewards delivered pixel throughput (a crude utility): plans
+// that deliver more of the requested quality score higher gains.
+func QualityGain(p *Plan) float64 {
+	return float64(p.Delivered.Resolution.Pixels()) * p.Delivered.FrameRate
+}
+
+// Efficiency is the configurable evaluator E = G / C(r), with C the LRB
+// cost. With UnitGain it ranks identically to LRB; with QualityGain it
+// trades resources against delivered quality ("maximized user
+// satisfaction" as an optimization goal).
+type Efficiency struct {
+	Gain Gain
+}
+
+// Name returns "efficiency".
+func (Efficiency) Name() string { return "efficiency" }
+
+// Order sorts by descending E = G/C.
+func (m Efficiency) Order(plans []*Plan, usage SiteUsage) []*Plan {
+	gain := m.Gain
+	if gain == nil {
+		gain = UnitGain
+	}
+	var lrb LRB
+	return sortByCost(plans, func(p *Plan) float64 {
+		c := lrb.Cost(p, usage)
+		if c <= 0 {
+			c = 1e-12
+		}
+		return -gain(p) / c
+	})
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"quasaq/internal/gara"
+	"quasaq/internal/media"
+	"quasaq/internal/netsim"
+	"quasaq/internal/qos"
+	"quasaq/internal/simtime"
+	"quasaq/internal/transport"
+)
+
+// Errors returned by the quality manager.
+var (
+	// ErrNoPlan reports an empty post-pruning search space: no replica
+	// combination can satisfy the requirement at all.
+	ErrNoPlan = errors.New("core: no plan satisfies the QoS requirement")
+	// ErrRejected reports that every candidate plan failed admission
+	// control: the cluster lacks resources right now.
+	ErrRejected = errors.New("core: all plans rejected by admission control")
+)
+
+// Delivery is one admitted, executing query: the chosen plan, its streaming
+// session, and the remote-site lease if the plan relays between sites.
+type Delivery struct {
+	Plan    *Plan
+	Session *transport.Session
+
+	mgr         *Manager
+	sourceLease *gara.Lease
+	video       *media.Video
+	req         qos.Requirement
+	querySite   string
+}
+
+// Video returns the delivered logical video.
+func (d *Delivery) Video() *media.Video { return d.video }
+
+// Requirement returns the QoS requirement the delivery satisfies.
+func (d *Delivery) Requirement() qos.Requirement { return d.req }
+
+// Cancel aborts the delivery and releases every resource.
+func (d *Delivery) Cancel() {
+	if !d.Session.Done() {
+		d.mgr.cluster.sessionEnded()
+	}
+	d.Session.Cancel()
+	if d.sourceLease != nil {
+		d.sourceLease.Release()
+		d.sourceLease = nil
+	}
+}
+
+// ManagerStats counts quality-manager outcomes for the throughput figures.
+type ManagerStats struct {
+	Queries        uint64
+	Admitted       uint64
+	Rejected       uint64 // ErrRejected outcomes (Figure 7b's reject count)
+	NoPlan         uint64
+	PlansGenerated uint64
+	PlansTried     uint64
+	Renegotiations uint64
+}
+
+// Manager is the Quality Manager of §3.4: it generates plans for the
+// QoS-constrained delivery phase, ranks them with the configured cost
+// model, walks the ranking through admission control, reserves resources
+// via the composite QoS API, and starts the transport session for the
+// first admitted plan.
+type Manager struct {
+	cluster *Cluster
+	gen     *Generator
+	model   CostModel
+	stats   ManagerStats
+}
+
+// NewManager wires a quality manager to a cluster with a cost model.
+func NewManager(c *Cluster, model CostModel) *Manager {
+	return &Manager{
+		cluster: c,
+		gen:     NewGenerator(c.Dir, DefaultGeneratorConfig(c.Capacity())),
+		model:   model,
+	}
+}
+
+// NewManagerWithConfig allows a custom generator configuration (used by the
+// ablation benchmarks).
+func NewManagerWithConfig(c *Cluster, model CostModel, cfg GeneratorConfig) *Manager {
+	return &Manager{cluster: c, gen: NewGenerator(c.Dir, cfg), model: model}
+}
+
+// Stats returns a copy of the outcome counters.
+func (m *Manager) Stats() ManagerStats { return m.stats }
+
+// Generator exposes the plan generator (for tests and diagnostics).
+func (m *Manager) Generator() *Generator { return m.gen }
+
+// ServiceOptions tunes one Service call.
+type ServiceOptions struct {
+	// TraceFrames enables the per-frame completion trace on the session.
+	TraceFrames int
+	// Path, when set, models the server-to-client network path for
+	// client-side QoS accounting; PathSeed seeds its randomness.
+	Path     *netsim.Path
+	PathSeed int64
+	// StartFrame resumes delivery at a frame offset (renegotiation).
+	StartFrame int
+	// OnDone fires when the delivery finishes.
+	OnDone func(*Delivery)
+}
+
+// Service runs the QoS phase for one identified video: generate, rank,
+// admit, reserve, stream. It returns the admitted delivery, or ErrNoPlan /
+// ErrRejected.
+func (m *Manager) Service(querySite string, id media.VideoID, req qos.Requirement, opts ServiceOptions) (*Delivery, error) {
+	m.stats.Queries++
+	if _, err := m.cluster.Node(querySite); err != nil {
+		return nil, err
+	}
+	v, err := m.cluster.Engine.Video(id)
+	if err != nil {
+		return nil, err
+	}
+	plans := m.gen.Generate(querySite, v, req)
+	m.stats.PlansGenerated += uint64(len(plans))
+	if len(plans) == 0 {
+		m.stats.NoPlan++
+		return nil, fmt.Errorf("%w: %s with %s", ErrNoPlan, id, req)
+	}
+	ranked := m.model.Order(plans, m.cluster.Usage)
+	if ss, ok := m.model.(singleShot); ok && ss.SingleShot() && len(ranked) > 1 {
+		ranked = ranked[:1]
+	}
+	for _, p := range ranked {
+		m.stats.PlansTried++
+		d, err := m.execute(querySite, v, req, p, opts)
+		if err == nil {
+			m.stats.Admitted++
+			return d, nil
+		}
+	}
+	m.stats.Rejected++
+	return nil, fmt.Errorf("%w: %s with %s (%d plans)", ErrRejected, id, req, len(plans))
+}
+
+// execute reserves the plan's resources (delivery site, then source site
+// for remote plans — all or nothing) and starts the session.
+func (m *Manager) execute(querySite string, v *media.Video, req qos.Requirement, p *Plan, opts ServiceOptions) (*Delivery, error) {
+	deliveryNode, err := m.cluster.Node(p.DeliverySite)
+	if err != nil {
+		return nil, err
+	}
+	period := simtime.Seconds(1 / p.Delivered.FrameRate)
+	lease, err := deliveryNode.Reserve(v.Title, p.DeliveryDemand, period)
+	if err != nil {
+		return nil, err
+	}
+	var sourceLease *gara.Lease
+	if p.Remote() {
+		sourceNode, err := m.cluster.Node(p.Replica.Site)
+		if err != nil {
+			lease.Release()
+			return nil, err
+		}
+		sourceLease, err = sourceNode.Reserve(v.Title+"-relay", p.SourceDemand, period)
+		if err != nil {
+			lease.Release()
+			return nil, err
+		}
+	}
+	d := &Delivery{Plan: p, mgr: m, sourceLease: sourceLease, video: v, req: req, querySite: querySite}
+	cfg := transport.Config{
+		Video:            v,
+		Variant:          p.DeliveredVariant,
+		Drop:             p.Drop,
+		ExtraPerFrameCPU: p.ExtraPerFrameCPU,
+		TraceFrames:      opts.TraceFrames,
+		Path:             opts.Path,
+		PathSeed:         opts.PathSeed,
+		StartFrame:       opts.StartFrame,
+	}
+	sess, err := transport.StartReserved(m.cluster.Sim, deliveryNode, cfg, lease, func(*transport.Session) {
+		m.cluster.sessionEnded()
+		if d.sourceLease != nil {
+			d.sourceLease.Release()
+			d.sourceLease = nil
+		}
+		if opts.OnDone != nil {
+			opts.OnDone(d)
+		}
+	})
+	if err != nil {
+		lease.Release()
+		if sourceLease != nil {
+			sourceLease.Release()
+		}
+		return nil, err
+	}
+	m.cluster.sessionStarted()
+	d.Session = sess
+	return d, nil
+}
+
+// Renegotiate services the delivery's video again under a new requirement,
+// cancelling the current session first — the §3.2 renegotiation path for
+// user QoP changes during playback. Delivery resumes from the session's
+// playback position (rounded back to a GOP boundary) rather than
+// restarting. If the new requirement cannot be admitted it attempts to
+// restore a delivery at the original requirement and returns the admission
+// error alongside whatever delivery resulted.
+func (m *Manager) Renegotiate(d *Delivery, req qos.Requirement, opts ServiceOptions) (*Delivery, error) {
+	m.stats.Renegotiations++
+	if opts.StartFrame == 0 {
+		opts.StartFrame = d.Session.Position()
+	}
+	d.Cancel()
+	nd, err := m.Service(d.querySite, d.video.ID, req, opts)
+	if err == nil {
+		return nd, nil
+	}
+	if od, rerr := m.Service(d.querySite, d.video.ID, d.req, opts); rerr == nil {
+		return od, err
+	}
+	return nil, err
+}

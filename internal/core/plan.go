@@ -1,0 +1,272 @@
+// Package core implements the paper's primary contribution: the
+// Quality-of-Service Aware Query Processor (QuaSAQ, §3). It contains the
+// plan generator that enumerates QoS-aware delivery plans over the disjoint
+// activity sets of Figure 2 (object retrieval, target site, frame dropping,
+// transcoding, encryption), the static and dynamic pruning rules of §3.4,
+// the runtime cost evaluator with the Lowest Resource Bucket model (Eq. 1)
+// and its baselines, and the quality manager that admits, reserves and
+// executes the chosen plan against the cluster substrates.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"quasaq/internal/cryptoact"
+	"quasaq/internal/media"
+	"quasaq/internal/metadata"
+	"quasaq/internal/qos"
+	"quasaq/internal/simtime"
+	"quasaq/internal/transcode"
+	"quasaq/internal/transport"
+)
+
+// Plan is one executable QoS-aware delivery plan: an ordered selection from
+// the disjoint sets A1 (physical replica), A2 (delivery site), A3 (frame
+// dropping), A4 (transcoding target), A5 (encryption algorithm). The
+// ordering of server activities is fixed (retrieval first, encryption after
+// dropping — the §3.4 rule that encrypting to-be-dropped frames wastes CPU),
+// which reduces the search space from O(n!·dⁿ) to O(dⁿ).
+type Plan struct {
+	Replica      *metadata.Replica
+	DeliverySite string
+	Drop         transport.DropStrategy
+	Transcode    *qos.AppQoS          // nil = deliver the replica's coding as-is
+	Encrypt      *cryptoact.Algorithm // nil = plaintext
+
+	// Delivered is the application QoS the user receives: the replica's
+	// quality after transcoding, with the drop strategy's effective frame
+	// rate and the encryption's security level folded in.
+	Delivered qos.AppQoS
+	// DeliveredVariant is the coded variant streamed to the client.
+	DeliveredVariant media.Variant
+	// ExtraPerFrameCPU is the per-delivered-frame CPU time of the plan's
+	// online activities (transcode + encrypt), submitted with each frame.
+	ExtraPerFrameCPU simtime.Time
+	// DeliveryDemand is the resource vector required at the delivery site.
+	DeliveryDemand qos.ResourceVector
+	// SourceDemand is the resource vector required at the source site when
+	// the replica lives elsewhere (zero otherwise): disk to read the
+	// replica and outbound bandwidth to relay it to the delivery site.
+	SourceDemand qos.ResourceVector
+}
+
+// Remote reports whether the plan relays the replica between sites.
+func (p *Plan) Remote() bool { return p.Replica.Site != p.DeliverySite }
+
+// String renders the plan like the paper's worked example: retrieve,
+// transfer, transcode, drop, encrypt.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "retrieve %s (%s)", p.Replica.ID(), p.Replica.Variant.Quality)
+	if p.Remote() {
+		fmt.Fprintf(&b, " -> transfer to %s", p.DeliverySite)
+	}
+	if p.Transcode != nil {
+		fmt.Fprintf(&b, " -> transcode to %s", *p.Transcode)
+	}
+	if p.Drop != transport.DropNone {
+		fmt.Fprintf(&b, " -> drop %s", p.Drop)
+	}
+	if p.Encrypt != nil {
+		fmt.Fprintf(&b, " -> encrypt %s", p.Encrypt.Name)
+	}
+	return b.String()
+}
+
+// GeneratorConfig tunes the search space.
+type GeneratorConfig struct {
+	// Drops lists the admissible frame-dropping strategies (set A3).
+	// Defaults to all four of §4.
+	Drops []transport.DropStrategy
+	// AllowTranscode enables online transcoding targets (set A4).
+	AllowTranscode bool
+	// AllowRemote enables delivery sites other than the replica's (set A2).
+	AllowRemote bool
+	// SiteCapacity is the per-site resource capacity used by the static
+	// plan-drop rule: a plan whose demand cannot fit an *empty* site is
+	// "intolerably high cost" (§3.4) and is dropped at generation time.
+	SiteCapacity qos.ResourceVector
+}
+
+// DefaultGeneratorConfig returns the full §4 search space.
+func DefaultGeneratorConfig(capacity qos.ResourceVector) GeneratorConfig {
+	return GeneratorConfig{
+		Drops: []transport.DropStrategy{
+			transport.DropNone, transport.DropHalfB, transport.DropAllB, transport.DropBAndP,
+		},
+		AllowTranscode: true,
+		AllowRemote:    true,
+		SiteCapacity:   capacity,
+	}
+}
+
+// Generator enumerates and statically prunes QoS-aware plans.
+type Generator struct {
+	dir *metadata.Directory
+	cfg GeneratorConfig
+
+	// Counters for the §5.2 overhead analysis.
+	generated uint64
+	pruned    uint64
+}
+
+// NewGenerator creates a plan generator over the cluster's metadata.
+func NewGenerator(dir *metadata.Directory, cfg GeneratorConfig) *Generator {
+	if len(cfg.Drops) == 0 {
+		cfg.Drops = []transport.DropStrategy{transport.DropNone}
+	}
+	return &Generator{dir: dir, cfg: cfg}
+}
+
+// Stats returns cumulative (plans emitted, candidates pruned).
+func (g *Generator) Stats() (generated, pruned uint64) { return g.generated, g.pruned }
+
+// Generate enumerates the plans able to answer the query for video v with
+// requirement req, as seen from querySite. Static QoS rules prune the
+// space: no upscaling, no pointless encryption, no identity transcodes, no
+// plans that could never be admitted.
+func (g *Generator) Generate(querySite string, v *media.Video, req qos.Requirement) []*Plan {
+	replicas := g.dir.Lookup(querySite, v.ID)
+	sites := g.dir.Sites()
+	var plans []*Plan
+	for _, rep := range replicas { // set A1
+		// Rule: a replica below the required minimum resolution can never
+		// satisfy the query — transcoding cannot upscale (§3.4).
+		if req.MinResolution.W > 0 && !rep.Variant.Quality.Resolution.AtLeast(req.MinResolution) {
+			g.pruned++
+			continue
+		}
+		deliverySites := []string{rep.Site}
+		if g.cfg.AllowRemote {
+			deliverySites = sites
+		}
+		targets := g.transcodeTargets(rep, req)
+		for _, site := range deliverySites { // set A2
+			for _, target := range targets { // set A4
+				delivered := rep.Variant.Quality
+				if target != nil {
+					delivered = *target
+				}
+				for _, drop := range g.cfg.Drops { // set A3
+					for _, enc := range g.encryptionChoices(req) { // set A5
+						if p := g.build(v, rep, site, delivered, target, drop, enc); p != nil {
+							if req.SatisfiedBy(p.Delivered) {
+								plans = append(plans, p)
+								g.generated++
+							} else {
+								g.pruned++
+							}
+						} else {
+							g.pruned++
+						}
+					}
+				}
+			}
+		}
+	}
+	return plans
+}
+
+// transcodeTargets returns nil (no transcode) plus each ladder quality the
+// replica can be transcoded down to that could still satisfy the query.
+func (g *Generator) transcodeTargets(rep *metadata.Replica, req qos.Requirement) []*qos.AppQoS {
+	targets := []*qos.AppQoS{nil}
+	if !g.cfg.AllowTranscode {
+		return targets
+	}
+	for _, q := range media.StandardLadder(rep.Variant.Quality.FrameRate) {
+		if transcode.Validate(rep.Variant.Quality, q) != nil {
+			continue
+		}
+		if req.MinResolution.W > 0 && !q.Resolution.AtLeast(req.MinResolution) {
+			continue
+		}
+		q := q
+		targets = append(targets, &q)
+	}
+	return targets
+}
+
+// encryptionChoices applies the security rule: queries without a security
+// requirement never get an encryption activity (it would waste CPU for no
+// QoS gain); queries demanding security get every algorithm at or above
+// the level.
+func (g *Generator) encryptionChoices(req qos.Requirement) []*cryptoact.Algorithm {
+	if req.Security == qos.SecurityNone {
+		return []*cryptoact.Algorithm{nil}
+	}
+	algs := cryptoact.ForLevel(req.Security)
+	out := make([]*cryptoact.Algorithm, len(algs))
+	for i := range algs {
+		out[i] = &algs[i]
+	}
+	return out
+}
+
+// build assembles and costs one candidate plan, returning nil when a static
+// rule rejects it.
+func (g *Generator) build(v *media.Video, rep *metadata.Replica, site string,
+	delivered qos.AppQoS, target *qos.AppQoS, drop transport.DropStrategy,
+	enc *cryptoact.Algorithm) *Plan {
+
+	deliveredVar := media.NewVariant(delivered)
+	netRate := deliveredVar.Bitrate * drop.ByteFactor(v, deliveredVar)
+
+	cpu := transport.StreamCPUCost(deliveredVar, delivered.FrameRate)
+	var extraPerSecond float64
+	if target != nil {
+		extraPerSecond += transcode.CPUCost(rep.Variant.Quality, *target)
+	}
+	if enc != nil {
+		// Encryption follows frame dropping (§3.4), so it costs CPU only
+		// for the bytes that survive the drop.
+		extraPerSecond += enc.CPUCost(netRate)
+		delivered.Security = enc.Level
+	}
+	cpu += extraPerSecond
+
+	effFPS := drop.EffectiveFrameRate(v.GOP, delivered.FrameRate)
+	deliveredEff := delivered
+	deliveredEff.FrameRate = effFPS
+
+	var deliveryDemand qos.ResourceVector
+	deliveryDemand[qos.ResCPU] = cpu
+	deliveryDemand[qos.ResNetBandwidth] = netRate
+	deliveryDemand[qos.ResMemory] = 2 * float64(deliveredVar.GOPSize(v, 0))
+
+	var sourceDemand qos.ResourceVector
+	if rep.Site != site {
+		sourceDemand[qos.ResDiskBandwidth] = rep.Variant.Bitrate
+		sourceDemand[qos.ResNetBandwidth] = rep.Variant.Bitrate
+		sourceDemand[qos.ResCPU] = 0.5 * transport.StreamCPUCost(rep.Variant, rep.Variant.Quality.FrameRate)
+	} else {
+		deliveryDemand[qos.ResDiskBandwidth] = rep.Variant.Bitrate
+	}
+
+	// Static plan-drop rule: demands no empty site could ever admit.
+	if cap := g.cfg.SiteCapacity; cap != (qos.ResourceVector{}) {
+		var zero qos.ResourceVector
+		if !deliveryDemand.FitsWithin(zero, cap) || !sourceDemand.FitsWithin(zero, cap) {
+			return nil
+		}
+	}
+
+	framesPerSecond := effFPS
+	var extraPerFrame simtime.Time
+	if framesPerSecond > 0 {
+		extraPerFrame = simtime.Time(float64(simtime.Seconds(1)) * extraPerSecond / framesPerSecond)
+	}
+	return &Plan{
+		Replica:          rep,
+		DeliverySite:     site,
+		Drop:             drop,
+		Transcode:        target,
+		Encrypt:          enc,
+		Delivered:        deliveredEff,
+		DeliveredVariant: deliveredVar,
+		ExtraPerFrameCPU: extraPerFrame,
+		DeliveryDemand:   deliveryDemand,
+		SourceDemand:     sourceDemand,
+	}
+}

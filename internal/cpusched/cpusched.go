@@ -1,0 +1,367 @@
+// Package cpusched models the two CPU schedulers whose contrast drives the
+// paper's Figure 5 and Table 2:
+//
+//   - a time-sharing round-robin scheduler with a 10 ms quantum, standing in
+//     for the stock Solaris 2.6 scheduler under which the original VDBMS
+//     streamed ("the job waits for its turn of CPU utilization ... it will
+//     try to process all the frames that are overdue within the quantum
+//     assigned by the OS (10ms in Solaris)", §5.1); and
+//   - a DSRT-style soft-real-time reservation scheduler (period + slice
+//     admission, earliest-deadline-first dispatch, preemption of best-effort
+//     work), standing in for the QualMan CPU scheduler behind QuaSAQ's
+//     composite QoS API.
+//
+// Both run on the same simulated CPU. Streaming jobs submit one task per
+// frame; the scheduler decides completion times, and the transport layer
+// derives inter-frame delays from them.
+package cpusched
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"quasaq/internal/simtime"
+)
+
+// DefaultQuantum is the Solaris time-sharing quantum the paper cites.
+const DefaultQuantum = 10 * time.Millisecond
+
+// DefaultMaxUtilization bounds admitted reserved utilization, leaving
+// headroom for best-effort work and scheduler overhead, as DSRT does.
+const DefaultMaxUtilization = 0.85
+
+// ErrAdmission reports that a reservation would exceed the utilization
+// bound.
+var ErrAdmission = errors.New("cpusched: reservation rejected by admission control")
+
+// Task is one unit of CPU work (processing one video frame, one transcode
+// step, one query). Done is invoked exactly once, at completion time.
+type Task struct {
+	job       *Job
+	remaining simtime.Time
+	released  simtime.Time
+	deadline  simtime.Time // released + period for reserved jobs
+	done      func(completed simtime.Time)
+}
+
+// Job is a stream of tasks belonging to one session or process.
+type Job struct {
+	cpu      *CPU
+	name     string
+	reserved bool
+	period   simtime.Time
+	slice    simtime.Time
+	tasks    []*Task // released, not yet completed; head is next to run
+	queued   bool    // present in the best-effort run queue
+	finished bool
+}
+
+// Name returns the job's diagnostic name.
+func (j *Job) Name() string { return j.name }
+
+// Reserved reports whether the job holds a CPU reservation.
+func (j *Job) Reserved() bool { return j.reserved }
+
+// Backlog returns the number of released, uncompleted tasks.
+func (j *Job) Backlog() int { return len(j.tasks) }
+
+// CPU is a single simulated processor shared by reserved and best-effort
+// jobs.
+type CPU struct {
+	sim     *simtime.Simulator
+	quantum simtime.Time
+	maxUtil float64
+
+	// DispatchOverhead is charged once per dispatch decision, modelling
+	// scheduler bookkeeping (DSRT reports 0.4-0.8 ms per 10 ms on its
+	// hardware, 0.16 ms on the paper's machines).
+	DispatchOverhead simtime.Time
+
+	reservedJobs []*Job // jobs holding reservations (admission accounting)
+	readyRes     []*Job // reserved jobs with released tasks
+	readyBE      []*Job // best-effort round-robin queue
+
+	cur *running
+
+	util       float64
+	dispatches uint64
+	busy       simtime.Time
+	lastStart  simtime.Time
+}
+
+type running struct {
+	job        *Job
+	task       *Task
+	started    simtime.Time
+	quantumEnd simtime.Time // zero for reserved dispatches
+	doneEv     *simtime.Event
+	expiryEv   *simtime.Event
+}
+
+// New creates a CPU on the simulator with the given scheduling quantum.
+func New(sim *simtime.Simulator, quantum simtime.Time) *CPU {
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	return &CPU{sim: sim, quantum: quantum, maxUtil: DefaultMaxUtilization}
+}
+
+// SetMaxUtilization overrides the reserved-utilization admission bound.
+func (c *CPU) SetMaxUtilization(u float64) { c.maxUtil = u }
+
+// ReservedUtilization returns the admitted reserved utilization in [0,1].
+func (c *CPU) ReservedUtilization() float64 { return c.util }
+
+// Dispatches returns the number of dispatch decisions taken, for overhead
+// accounting.
+func (c *CPU) Dispatches() uint64 { return c.dispatches }
+
+// BusyTime returns cumulative time the CPU spent executing tasks.
+func (c *CPU) BusyTime() simtime.Time {
+	b := c.busy
+	if c.cur != nil {
+		b += c.sim.Now() - c.cur.started
+	}
+	return b
+}
+
+// NewBestEffortJob creates a time-shared job.
+func (c *CPU) NewBestEffortJob(name string) *Job {
+	return &Job{cpu: c, name: name}
+}
+
+// NewReservedJob creates a job with a (period, slice) CPU reservation,
+// subject to admission control: total reserved utilization must stay within
+// the bound. This is the CPU leg of the composite QoS API's reservation.
+func (c *CPU) NewReservedJob(name string, period, slice simtime.Time) (*Job, error) {
+	if period <= 0 || slice <= 0 || slice > period {
+		return nil, fmt.Errorf("cpusched: invalid reservation period=%v slice=%v", period, slice)
+	}
+	u := float64(slice) / float64(period)
+	if c.util+u > c.maxUtil+1e-12 {
+		return nil, fmt.Errorf("%w: %.2f+%.2f > %.2f", ErrAdmission, c.util, u, c.maxUtil)
+	}
+	j := &Job{cpu: c, name: name, reserved: true, period: period, slice: slice}
+	c.util += u
+	c.reservedJobs = append(c.reservedJobs, j)
+	return j, nil
+}
+
+// Finish releases the job's reservation (if any) and drops pending tasks.
+// Their done callbacks never fire.
+func (j *Job) Finish() {
+	if j.finished {
+		return
+	}
+	j.finished = true
+	c := j.cpu
+	if j.reserved {
+		c.util -= float64(j.slice) / float64(j.period)
+		if c.util < 0 {
+			c.util = 0
+		}
+		c.reservedJobs = removeJob(c.reservedJobs, j)
+		c.readyRes = removeJob(c.readyRes, j)
+	} else {
+		c.readyBE = removeJob(c.readyBE, j)
+		j.queued = false
+	}
+	j.tasks = nil
+	if c.cur != nil && c.cur.job == j {
+		c.stopCurrent(false)
+		c.dispatch()
+	}
+}
+
+func removeJob(s []*Job, j *Job) []*Job {
+	for i, x := range s {
+		if x == j {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// Submit releases a task needing the given CPU service time; done is called
+// at its completion instant. Zero-service tasks complete after the dispatch
+// overhead alone.
+func (j *Job) Submit(service simtime.Time, done func(simtime.Time)) {
+	if j.finished {
+		return
+	}
+	if service < 0 {
+		panic("cpusched: negative service time")
+	}
+	c := j.cpu
+	t := &Task{job: j, remaining: service, released: c.sim.Now(), done: done}
+	if j.reserved {
+		t.deadline = t.released + j.period
+	}
+	j.tasks = append(j.tasks, t)
+	if j.reserved {
+		if !containsJob(c.readyRes, j) {
+			c.readyRes = append(c.readyRes, j)
+		}
+	} else if !j.queued && !(c.cur != nil && c.cur.job == j) {
+		// A job that is currently on the CPU keeps its new task in its own
+		// queue; enqueuing it again would double-schedule it.
+		j.queued = true
+		c.readyBE = append(c.readyBE, j)
+	}
+	c.maybePreempt()
+	c.dispatch()
+}
+
+func containsJob(s []*Job, j *Job) bool {
+	for _, x := range s {
+		if x == j {
+			return true
+		}
+	}
+	return false
+}
+
+// maybePreempt interrupts a best-effort dispatch when reserved work becomes
+// ready: the soft-real-time guarantee DSRT provides.
+func (c *CPU) maybePreempt() {
+	if c.cur == nil || c.cur.job.reserved || len(c.readyRes) == 0 {
+		return
+	}
+	c.stopCurrent(true)
+}
+
+// stopCurrent halts the running dispatch. If requeue is set, the partially
+// executed task keeps its consumed service and its job returns to the front
+// of the best-effort queue.
+func (c *CPU) stopCurrent(requeue bool) {
+	r := c.cur
+	if r == nil {
+		return
+	}
+	consumed := c.sim.Now() - r.started
+	c.busy += consumed
+	progress := consumed - c.DispatchOverhead
+	if progress < 0 {
+		progress = 0
+	}
+	r.task.remaining -= progress
+	if r.task.remaining < 0 {
+		r.task.remaining = 0
+	}
+	c.sim.Cancel(r.doneEv)
+	c.sim.Cancel(r.expiryEv)
+	c.cur = nil
+	if requeue && !r.job.finished {
+		if !r.job.queued {
+			r.job.queued = true
+			c.readyBE = append([]*Job{r.job}, c.readyBE...)
+		}
+	}
+}
+
+// dispatch starts the next task if the CPU is idle.
+func (c *CPU) dispatch() {
+	if c.cur != nil {
+		return
+	}
+	if j := c.pickEDF(); j != nil {
+		c.start(j, 0)
+		return
+	}
+	for len(c.readyBE) > 0 {
+		j := c.readyBE[0]
+		c.readyBE = c.readyBE[1:]
+		j.queued = false
+		if len(j.tasks) == 0 {
+			continue // drained while queued (e.g. by Finish)
+		}
+		c.start(j, c.sim.Now()+c.quantum)
+		return
+	}
+}
+
+// pickEDF returns the reserved job whose head task has the earliest
+// deadline, or nil.
+func (c *CPU) pickEDF() *Job {
+	var best *Job
+	for _, j := range c.readyRes {
+		if len(j.tasks) == 0 {
+			continue
+		}
+		if best == nil || j.tasks[0].deadline < best.tasks[0].deadline {
+			best = j
+		}
+	}
+	return best
+}
+
+func (c *CPU) start(j *Job, quantumEnd simtime.Time) {
+	t := j.tasks[0]
+	c.dispatches++
+	r := &running{job: j, task: t, started: c.sim.Now(), quantumEnd: quantumEnd}
+	c.cur = r
+	runFor := t.remaining + c.DispatchOverhead
+	if quantumEnd > 0 && c.sim.Now()+runFor > quantumEnd {
+		// The quantum expires mid-task: schedule expiry, not completion.
+		r.expiryEv = c.sim.ScheduleAt(quantumEnd, func() { c.onExpiry(r) })
+		return
+	}
+	r.doneEv = c.sim.Schedule(runFor, func() { c.onComplete(r) })
+}
+
+func (c *CPU) onComplete(r *running) {
+	if c.cur != r {
+		return // stale event (defensive; cancellation should prevent this)
+	}
+	now := c.sim.Now()
+	c.busy += now - r.started
+	j := r.job
+	j.tasks = j.tasks[1:]
+	c.cur = nil
+	if j.reserved && len(j.tasks) == 0 {
+		c.readyRes = removeJob(c.readyRes, j)
+	}
+	// Within a live quantum a best-effort job keeps the CPU and burns
+	// through its backlog — the paper's "process all the frames that are
+	// overdue within the quantum".
+	if !j.reserved && !j.finished && len(j.tasks) > 0 && now < r.quantumEnd && c.pickEDF() == nil {
+		c.start(j, r.quantumEnd)
+	} else if !j.reserved && !j.finished && len(j.tasks) > 0 {
+		if !j.queued {
+			j.queued = true
+			c.readyBE = append(c.readyBE, j)
+		}
+	}
+	if r.task.done != nil {
+		r.task.done(now)
+	}
+	c.dispatch()
+}
+
+func (c *CPU) onExpiry(r *running) {
+	if c.cur != r {
+		return
+	}
+	now := c.sim.Now()
+	consumed := now - r.started
+	c.busy += consumed
+	progress := consumed - c.DispatchOverhead
+	if progress < 0 {
+		progress = 0
+	}
+	r.task.remaining -= progress
+	if r.task.remaining < 0 {
+		r.task.remaining = 0
+	}
+	j := r.job
+	c.cur = nil
+	if !j.finished {
+		// Rotate to the tail: classic round-robin.
+		if !j.queued {
+			j.queued = true
+			c.readyBE = append(c.readyBE, j)
+		}
+	}
+	c.dispatch()
+}

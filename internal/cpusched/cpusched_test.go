@@ -1,0 +1,334 @@
+package cpusched
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"quasaq/internal/simtime"
+)
+
+func newCPU() (*simtime.Simulator, *CPU) {
+	sim := simtime.NewSimulator()
+	return sim, New(sim, DefaultQuantum)
+}
+
+func TestSingleTaskRunsImmediately(t *testing.T) {
+	sim, cpu := newCPU()
+	j := cpu.NewBestEffortJob("j")
+	var done simtime.Time
+	j.Submit(3*time.Millisecond, func(at simtime.Time) { done = at })
+	sim.Run()
+	if done != 3*time.Millisecond {
+		t.Fatalf("completion = %v, want 3ms", done)
+	}
+	if cpu.BusyTime() != 3*time.Millisecond {
+		t.Fatalf("busy = %v", cpu.BusyTime())
+	}
+}
+
+func TestBestEffortFIFOWithinJob(t *testing.T) {
+	sim, cpu := newCPU()
+	j := cpu.NewBestEffortJob("j")
+	var order []int
+	j.Submit(time.Millisecond, func(simtime.Time) { order = append(order, 1) })
+	j.Submit(time.Millisecond, func(simtime.Time) { order = append(order, 2) })
+	sim.Run()
+	if len(order) != 2 || order[0] != 1 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestRoundRobinAlternatesJobs(t *testing.T) {
+	// Two CPU-bound jobs with 25 ms tasks: with a 10 ms quantum each task
+	// needs three turns, so completions interleave rather than run
+	// back-to-back.
+	sim, cpu := newCPU()
+	a := cpu.NewBestEffortJob("a")
+	b := cpu.NewBestEffortJob("b")
+	var tA, tB simtime.Time
+	a.Submit(25*time.Millisecond, func(at simtime.Time) { tA = at })
+	b.Submit(25*time.Millisecond, func(at simtime.Time) { tB = at })
+	sim.Run()
+	// a runs [0,10) [20,30) [40,45); b runs [10,20) [30,40) [45,50).
+	if tA != 45*time.Millisecond {
+		t.Fatalf("a completed at %v, want 45ms", tA)
+	}
+	if tB != 50*time.Millisecond {
+		t.Fatalf("b completed at %v, want 50ms", tB)
+	}
+}
+
+func TestQuantumBurstsThroughBacklog(t *testing.T) {
+	// The Figure 5c mechanism: a backlogged job, once dispatched, processes
+	// all overdue frames inside one quantum, yielding near-zero
+	// inter-completion gaps within the burst.
+	sim, cpu := newCPU()
+	hog := cpu.NewBestEffortJob("hog")
+	victim := cpu.NewBestEffortJob("victim")
+	hog.Submit(10*time.Millisecond, nil)
+	var completions []simtime.Time
+	for i := 0; i < 4; i++ {
+		victim.Submit(time.Millisecond, func(at simtime.Time) { completions = append(completions, at) })
+	}
+	sim.Run()
+	if len(completions) != 4 {
+		t.Fatalf("completions = %d", len(completions))
+	}
+	if completions[0] != 11*time.Millisecond {
+		t.Fatalf("first completion %v, want 11ms (after hog's quantum)", completions[0])
+	}
+	for i := 1; i < 4; i++ {
+		if gap := completions[i] - completions[i-1]; gap != time.Millisecond {
+			t.Fatalf("burst gap %d = %v, want 1ms", i, gap)
+		}
+	}
+}
+
+func TestReservationAdmissionControl(t *testing.T) {
+	_, cpu := newCPU()
+	period := 40 * time.Millisecond
+	// 0.5 + 0.3 admitted; +0.2 would exceed the 0.85 bound.
+	if _, err := cpu.NewReservedJob("a", period, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cpu.NewReservedJob("b", period, 12*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cpu.NewReservedJob("c", period, 8*time.Millisecond); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("err = %v, want admission rejection", err)
+	}
+	if u := cpu.ReservedUtilization(); u < 0.79 || u > 0.81 {
+		t.Fatalf("utilization = %v, want 0.8", u)
+	}
+}
+
+func TestReservationInvalidParams(t *testing.T) {
+	_, cpu := newCPU()
+	if _, err := cpu.NewReservedJob("x", 0, time.Millisecond); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := cpu.NewReservedJob("x", time.Millisecond, 2*time.Millisecond); err == nil {
+		t.Fatal("slice > period accepted")
+	}
+}
+
+func TestFinishReleasesUtilization(t *testing.T) {
+	_, cpu := newCPU()
+	j, err := cpu.NewReservedJob("a", 40*time.Millisecond, 32*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Finish()
+	j.Finish() // idempotent
+	if cpu.ReservedUtilization() != 0 {
+		t.Fatalf("utilization after finish = %v", cpu.ReservedUtilization())
+	}
+	if _, err := cpu.NewReservedJob("b", 40*time.Millisecond, 32*time.Millisecond); err != nil {
+		t.Fatalf("capacity not reclaimed: %v", err)
+	}
+}
+
+func TestReservedPreemptsBestEffort(t *testing.T) {
+	// A best-effort hog is mid-quantum when a reserved frame arrives; the
+	// reserved task must start immediately — the DSRT guarantee.
+	sim, cpu := newCPU()
+	hog := cpu.NewBestEffortJob("hog")
+	res, err := cpu.NewReservedJob("stream", 42*time.Millisecond, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hog.Submit(30*time.Millisecond, nil)
+	var resDone, hogDone simtime.Time
+	sim.Schedule(2*time.Millisecond, func() {
+		res.Submit(3*time.Millisecond, func(at simtime.Time) { resDone = at })
+	})
+	// Track hog completion via a second task (first has nil callback).
+	hog.Submit(time.Millisecond, func(at simtime.Time) { hogDone = at })
+	sim.Run()
+	if resDone != 5*time.Millisecond {
+		t.Fatalf("reserved completed at %v, want 5ms (2ms release + 3ms service)", resDone)
+	}
+	if hogDone == 0 || hogDone < resDone {
+		t.Fatalf("hog order broken: %v", hogDone)
+	}
+}
+
+func TestReservedJobJitterUnderContention(t *testing.T) {
+	// The Figure 5d property: a reserved periodic stream keeps near-ideal
+	// completion pacing despite many best-effort competitors.
+	sim, cpu := newCPU()
+	period := 40 * time.Millisecond
+	stream, err := cpu.NewReservedJob("stream", period, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		hog := cpu.NewBestEffortJob("hog")
+		var spin func(simtime.Time)
+		spin = func(simtime.Time) { hog.Submit(8*time.Millisecond, spin) }
+		hog.Submit(8*time.Millisecond, spin)
+	}
+	var completions []simtime.Time
+	for i := 0; i < 50; i++ {
+		release := simtime.Time(i) * period
+		sim.ScheduleAt(release, func() {
+			stream.Submit(2*time.Millisecond, func(at simtime.Time) {
+				completions = append(completions, at)
+			})
+		})
+	}
+	sim.RunUntil(3 * time.Second)
+	if len(completions) != 50 {
+		t.Fatalf("only %d/50 frames completed", len(completions))
+	}
+	for i := 1; i < len(completions); i++ {
+		gap := completions[i] - completions[i-1]
+		if gap < 30*time.Millisecond || gap > 50*time.Millisecond {
+			t.Fatalf("reserved inter-completion gap %d = %v, want ~40ms", i, gap)
+		}
+	}
+}
+
+func TestBestEffortJobStarvesUnderContention(t *testing.T) {
+	// The Figure 5c property: the same periodic stream WITHOUT a
+	// reservation suffers large completion gaps under contention.
+	sim, cpu := newCPU()
+	period := 40 * time.Millisecond
+	stream := cpu.NewBestEffortJob("stream")
+	for i := 0; i < 10; i++ {
+		hog := cpu.NewBestEffortJob("hog")
+		var spin func(simtime.Time)
+		spin = func(simtime.Time) { hog.Submit(8*time.Millisecond, spin) }
+		hog.Submit(8*time.Millisecond, spin)
+	}
+	var completions []simtime.Time
+	for i := 0; i < 50; i++ {
+		release := simtime.Time(i) * period
+		sim.ScheduleAt(release, func() {
+			stream.Submit(2*time.Millisecond, func(at simtime.Time) {
+				completions = append(completions, at)
+			})
+		})
+	}
+	sim.RunUntil(5 * time.Second)
+	if len(completions) < 40 {
+		t.Fatalf("only %d frames completed", len(completions))
+	}
+	var worst simtime.Time
+	for i := 1; i < len(completions); i++ {
+		if gap := completions[i] - completions[i-1]; gap > worst {
+			worst = gap
+		}
+	}
+	if worst < 60*time.Millisecond {
+		t.Fatalf("worst best-effort gap = %v; expected starvation spikes >60ms", worst)
+	}
+}
+
+func TestEDFOrderAmongReserved(t *testing.T) {
+	sim, cpu := newCPU()
+	// A running reserved task is non-preemptible, so both later reserved
+	// tasks queue up and are dispatched in EDF order when it completes.
+	blocker, _ := cpu.NewReservedJob("blocker", 100*time.Millisecond, 10*time.Millisecond)
+	blocker.Submit(5*time.Millisecond, nil)
+	longP, _ := cpu.NewReservedJob("long", 100*time.Millisecond, 10*time.Millisecond)
+	shortP, _ := cpu.NewReservedJob("short", 20*time.Millisecond, 2*time.Millisecond)
+	var order []string
+	sim.Schedule(time.Millisecond, func() {
+		longP.Submit(time.Millisecond, func(simtime.Time) { order = append(order, "long") })
+	})
+	sim.Schedule(2*time.Millisecond, func() {
+		shortP.Submit(time.Millisecond, func(simtime.Time) { order = append(order, "short") })
+	})
+	sim.Run()
+	// short's deadline (2+20=22ms) precedes long's (1+100=101ms).
+	if len(order) != 2 || order[0] != "short" {
+		t.Fatalf("EDF order = %v, want short first", order)
+	}
+}
+
+func TestFinishDropsPendingTasks(t *testing.T) {
+	sim, cpu := newCPU()
+	j := cpu.NewBestEffortJob("j")
+	fired := false
+	j.Submit(time.Hour, func(simtime.Time) { fired = true })
+	sim.Schedule(time.Millisecond, j.Finish)
+	sim.Run()
+	if fired {
+		t.Fatal("task callback fired after Finish")
+	}
+	// CPU must be usable afterwards.
+	k := cpu.NewBestEffortJob("k")
+	var done simtime.Time
+	k.Submit(time.Millisecond, func(at simtime.Time) { done = at })
+	sim.Run()
+	if done == 0 {
+		t.Fatal("CPU stuck after Finish of running job")
+	}
+}
+
+func TestSubmitAfterFinishIgnored(t *testing.T) {
+	sim, cpu := newCPU()
+	j := cpu.NewBestEffortJob("j")
+	j.Finish()
+	fired := false
+	j.Submit(time.Millisecond, func(simtime.Time) { fired = true })
+	sim.Run()
+	if fired {
+		t.Fatal("submit after finish executed")
+	}
+}
+
+func TestDispatchOverheadAccounting(t *testing.T) {
+	sim, cpu := newCPU()
+	cpu.DispatchOverhead = 160 * time.Microsecond // the paper's 0.16 ms
+	j := cpu.NewBestEffortJob("j")
+	var done simtime.Time
+	j.Submit(5*time.Millisecond, func(at simtime.Time) { done = at })
+	sim.Run()
+	if done != 5*time.Millisecond+160*time.Microsecond {
+		t.Fatalf("completion = %v, want service+overhead", done)
+	}
+	if cpu.Dispatches() != 1 {
+		t.Fatalf("dispatches = %d", cpu.Dispatches())
+	}
+}
+
+func TestZeroServiceTask(t *testing.T) {
+	sim, cpu := newCPU()
+	j := cpu.NewBestEffortJob("j")
+	var done bool
+	j.Submit(0, func(simtime.Time) { done = true })
+	sim.Run()
+	if !done {
+		t.Fatal("zero-service task never completed")
+	}
+}
+
+func TestNegativeServicePanics(t *testing.T) {
+	_, cpu := newCPU()
+	j := cpu.NewBestEffortJob("j")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative service accepted")
+		}
+	}()
+	j.Submit(-time.Millisecond, nil)
+}
+
+func TestBusyTimeConservation(t *testing.T) {
+	sim, cpu := newCPU()
+	a := cpu.NewBestEffortJob("a")
+	b := cpu.NewBestEffortJob("b")
+	total := 0 * time.Millisecond
+	for i := 0; i < 5; i++ {
+		a.Submit(7*time.Millisecond, nil)
+		b.Submit(3*time.Millisecond, nil)
+		total += 10 * time.Millisecond
+	}
+	sim.Run()
+	if cpu.BusyTime() != total {
+		t.Fatalf("busy = %v, want %v", cpu.BusyTime(), total)
+	}
+}

@@ -1,0 +1,126 @@
+// Package cryptoact implements the encryption server activity (set A5 in
+// the paper's Figure 2). Plans may require the stream to be encrypted when
+// the query demands a security level (Table 1 lists Security among the
+// application QoS parameters); each algorithm trades CPU for strength, and
+// the plan generator uses the cost side of this package while the transport
+// uses the byte-level side.
+package cryptoact
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"fmt"
+
+	"quasaq/internal/qos"
+	"quasaq/internal/simtime"
+)
+
+// Algorithm describes one encryption choice.
+type Algorithm struct {
+	// Name identifies the algorithm in plans and logs.
+	Name string
+	// Level is the security level the algorithm provides.
+	Level qos.SecurityLevel
+	// Throughput is the sustainable encryption rate in bytes per second on
+	// the testbed CPU class; CPU cost of a stream is bitrate/Throughput.
+	Throughput float64
+	// rounds is the number of AES-CTR passes applied (0 = plaintext).
+	rounds int
+}
+
+// Catalog lists the supported algorithms, weakest first. Throughputs are
+// calibrated to early-2000s, ~2.4 GHz x86 measurements: stream-cipher XOR
+// is nearly free, single AES manages tens of MB/s, and the triple-pass
+// "strong" mode costs roughly 3x AES.
+func Catalog() []Algorithm {
+	return []Algorithm{
+		{Name: "xor-stream", Level: qos.SecurityStandard, Throughput: 400e6, rounds: 0},
+		{Name: "aes-ctr", Level: qos.SecurityStandard, Throughput: 60e6, rounds: 1},
+		{Name: "aes-ctr-x3", Level: qos.SecurityStrong, Throughput: 20e6, rounds: 3},
+	}
+}
+
+// ForLevel returns the algorithms providing at least the given level
+// (none for SecurityNone: an unencrypted stream needs no activity).
+func ForLevel(level qos.SecurityLevel) []Algorithm {
+	if level == qos.SecurityNone {
+		return nil
+	}
+	var out []Algorithm
+	for _, a := range Catalog() {
+		if a.Level >= level {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// CPUCost returns the CPU fraction needed to encrypt a stream of the given
+// bitrate (bytes per second) in real time.
+func (a Algorithm) CPUCost(bitrate float64) float64 {
+	if a.Throughput <= 0 {
+		return 0
+	}
+	return bitrate / a.Throughput
+}
+
+// PerFrameService converts CPUCost into per-frame scheduler service time
+// for a stream with the given frame rate.
+func (a Algorithm) PerFrameService(bitrate, frameRate float64) simtime.Time {
+	if frameRate <= 0 {
+		return 0
+	}
+	return simtime.Time(float64(simtime.Seconds(1)) * a.CPUCost(bitrate) / frameRate)
+}
+
+// Cipher is a streaming encryptor bound to a key.
+type Cipher struct {
+	alg     Algorithm
+	streams []cipher.Stream
+	xorKey  []byte
+	xorPos  int
+}
+
+// NewCipher derives a cipher for the algorithm from a key of any length.
+func NewCipher(a Algorithm, key []byte) (*Cipher, error) {
+	sum := sha256.Sum256(key)
+	c := &Cipher{alg: a}
+	if a.rounds == 0 {
+		c.xorKey = sum[:]
+		return c, nil
+	}
+	for i := 0; i < a.rounds; i++ {
+		round := sha256.Sum256(append(sum[:], byte(i)))
+		block, err := aes.NewCipher(round[:16])
+		if err != nil {
+			return nil, fmt.Errorf("cryptoact: %w", err)
+		}
+		iv := sha256.Sum256(append(round[:], 0xA5))
+		c.streams = append(c.streams, cipher.NewCTR(block, iv[:16]))
+	}
+	return c, nil
+}
+
+// Algorithm returns the cipher's algorithm descriptor.
+func (c *Cipher) Algorithm() Algorithm { return c.alg }
+
+// XORKeyStream encrypts (or, symmetrically, decrypts) src into dst, which
+// may alias. The transformation is stateful across calls, matching stream
+// delivery.
+func (c *Cipher) XORKeyStream(dst, src []byte) {
+	if len(dst) < len(src) {
+		panic("cryptoact: dst shorter than src")
+	}
+	if c.xorKey != nil {
+		for i, b := range src {
+			dst[i] = b ^ c.xorKey[c.xorPos]
+			c.xorPos = (c.xorPos + 1) % len(c.xorKey)
+		}
+		return
+	}
+	c.streams[0].XORKeyStream(dst, src)
+	for _, s := range c.streams[1:] {
+		s.XORKeyStream(dst[:len(src)], dst[:len(src)])
+	}
+}

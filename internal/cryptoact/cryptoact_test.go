@@ -1,0 +1,144 @@
+package cryptoact
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"quasaq/internal/qos"
+)
+
+func TestCatalogOrderedByStrengthCost(t *testing.T) {
+	algs := Catalog()
+	if len(algs) != 3 {
+		t.Fatalf("catalog size = %d", len(algs))
+	}
+	for i := 1; i < len(algs); i++ {
+		if algs[i].Throughput > algs[i-1].Throughput {
+			t.Fatal("catalog not ordered by decreasing throughput")
+		}
+	}
+}
+
+func TestForLevel(t *testing.T) {
+	if got := ForLevel(qos.SecurityNone); got != nil {
+		t.Fatalf("SecurityNone should need no algorithm, got %v", got)
+	}
+	std := ForLevel(qos.SecurityStandard)
+	if len(std) != 3 {
+		t.Fatalf("standard options = %d, want 3", len(std))
+	}
+	strong := ForLevel(qos.SecurityStrong)
+	if len(strong) != 1 || strong[0].Name != "aes-ctr-x3" {
+		t.Fatalf("strong options = %v", strong)
+	}
+}
+
+func TestCPUCost(t *testing.T) {
+	aes := Catalog()[1]
+	// A 476 KB/s DVD-quality stream through 60 MB/s AES: ~0.8% CPU.
+	c := aes.CPUCost(476e3)
+	if c < 0.005 || c > 0.02 {
+		t.Fatalf("AES cost = %v, want ~0.008", c)
+	}
+	strong := Catalog()[2]
+	if strong.CPUCost(476e3) <= c {
+		t.Fatal("strong encryption should cost more CPU")
+	}
+}
+
+func TestPerFrameService(t *testing.T) {
+	aes := Catalog()[1]
+	s := aes.PerFrameService(476e3, 23.97)
+	if s <= 0 {
+		t.Fatalf("per-frame service = %v", s)
+	}
+	if aes.PerFrameService(476e3, 0) != 0 {
+		t.Fatal("zero frame rate should cost zero per frame")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	for _, a := range Catalog() {
+		enc, err := NewCipher(a, []byte("secret"))
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		dec, err := NewCipher(a, []byte("secret"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := []byte("group of pictures payload 0123456789")
+		ct := make([]byte, len(msg))
+		enc.XORKeyStream(ct, msg)
+		if bytes.Equal(ct, msg) {
+			t.Fatalf("%s: ciphertext equals plaintext", a.Name)
+		}
+		pt := make([]byte, len(ct))
+		dec.XORKeyStream(pt, ct)
+		if !bytes.Equal(pt, msg) {
+			t.Fatalf("%s: round trip failed", a.Name)
+		}
+	}
+}
+
+func TestCipherStatefulAcrossCalls(t *testing.T) {
+	a := Catalog()[1]
+	enc, _ := NewCipher(a, []byte("k"))
+	dec, _ := NewCipher(a, []byte("k"))
+	msg := []byte("abcdefghijklmnopqrstuvwxyz012345")
+	ct := make([]byte, len(msg))
+	// Encrypt in two chunks, decrypt in three: stream state must line up.
+	enc.XORKeyStream(ct[:10], msg[:10])
+	enc.XORKeyStream(ct[10:], msg[10:])
+	pt := make([]byte, len(msg))
+	dec.XORKeyStream(pt[:7], ct[:7])
+	dec.XORKeyStream(pt[7:20], ct[7:20])
+	dec.XORKeyStream(pt[20:], ct[20:])
+	if !bytes.Equal(pt, msg) {
+		t.Fatal("chunked round trip failed")
+	}
+}
+
+func TestDifferentKeysDiffer(t *testing.T) {
+	a := Catalog()[1]
+	c1, _ := NewCipher(a, []byte("k1"))
+	c2, _ := NewCipher(a, []byte("k2"))
+	msg := make([]byte, 64)
+	ct1 := make([]byte, 64)
+	ct2 := make([]byte, 64)
+	c1.XORKeyStream(ct1, msg)
+	c2.XORKeyStream(ct2, msg)
+	if bytes.Equal(ct1, ct2) {
+		t.Fatal("different keys produced identical ciphertext")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	a := Catalog()[2] // triple AES
+	if err := quick.Check(func(msg []byte, key []byte) bool {
+		enc, err := NewCipher(a, key)
+		if err != nil {
+			return false
+		}
+		dec, _ := NewCipher(a, key)
+		ct := make([]byte, len(msg))
+		enc.XORKeyStream(ct, msg)
+		pt := make([]byte, len(ct))
+		dec.XORKeyStream(pt, ct)
+		return bytes.Equal(pt, msg)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortDstPanics(t *testing.T) {
+	a := Catalog()[0]
+	c, _ := NewCipher(a, []byte("k"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short dst accepted")
+		}
+	}()
+	c.XORKeyStream(make([]byte, 1), make([]byte, 2))
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"quasaq/internal/simtime"
+)
+
+// CSV export: each figure's series can be written as CSV for external
+// plotting, one file per figure, one row per sample.
+
+// WriteSeriesCSV writes throughput series (Figures 6/7 and ablations) as
+// tidy CSV: time, system, outstanding, succeeded_per_min, cum_rejects.
+func WriteSeriesCSV(w io.Writer, series []*Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "system", "outstanding", "succeeded_per_min", "cum_rejects"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i := range s.Outstanding {
+			t := float64(i+1) * simtime.ToSeconds(s.Bucket)
+			row := []string{
+				strconv.FormatFloat(t, 'f', 1, 64),
+				s.System.String(),
+				strconv.FormatFloat(s.Outstanding[i], 'f', 1, 64),
+				strconv.FormatFloat(at(s.SucceededPM, i), 'f', 2, 64),
+				strconv.FormatFloat(at(s.CumRejects, i), 'f', 0, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig5CSV writes the four delay panels as tidy CSV: frame, panel,
+// delay_ms.
+func WriteFig5CSV(w io.Writer, r *Fig5Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"frame", "panel", "delay_ms"}); err != nil {
+		return err
+	}
+	for _, p := range r.Panels {
+		for i, d := range p.Delays {
+			if err := cw.Write([]string{
+				strconv.Itoa(i),
+				p.Label,
+				strconv.FormatFloat(d, 'f', 3, 64),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes a figure's CSV into dir with a conventional name,
+// creating dir if needed.
+func SaveCSV(dir, name string, write func(io.Writer) error) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return "", fmt.Errorf("experiments: write %s: %w", path, err)
+	}
+	return path, nil
+}
+
+func at(xs []float64, i int) float64 {
+	if i < len(xs) {
+		return xs[i]
+	}
+	return 0
+}

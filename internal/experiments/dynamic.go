@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"quasaq/internal/core"
+	"quasaq/internal/media"
+	"quasaq/internal/netsim"
+	"quasaq/internal/replication"
+	"quasaq/internal/simtime"
+	"quasaq/internal/workload"
+)
+
+// DynamicResult compares QuaSAQ starting from single-copy storage with and
+// without the online replicator (the §2 item 1 extension): the replicator
+// should materialize the demanded quality ladder over time and close most
+// of the throughput gap to offline full replication.
+type DynamicResult struct {
+	StaticSingle    *Series // single-copy, no online replication
+	DynamicSingle   *Series // single-copy + online replication
+	FullReplica     *Series // offline full ladder (upper reference)
+	ReplicasCreated int
+	// Halves splits the dynamic run's admission rate: convergence shows as
+	// a higher second half.
+	DynamicAdmitFirstHalf  float64
+	DynamicAdmitSecondHalf float64
+}
+
+// RunDynamicReplication runs the three configurations on identical query
+// streams.
+func RunDynamicReplication(cfg ThroughputConfig) (*DynamicResult, error) {
+	res := &DynamicResult{}
+	var err error
+	single := cfg
+	single.SingleCopy = true
+	if res.StaticSingle, err = RunThroughput(SysQuaSAQ, single); err != nil {
+		return nil, err
+	}
+	if res.FullReplica, err = RunThroughput(SysQuaSAQ, cfg); err != nil {
+		return nil, err
+	}
+
+	// The dynamic run needs the replicator wired into the serving path, so
+	// it is built here rather than through RunThroughput.
+	sim := simtime.NewSimulator()
+	cluster := core.TestbedCluster(sim)
+	corpus := media.StandardCorpus(uint64(cfg.Seed))
+	if _, err := cluster.LoadCorpus(corpus, replication.SingleCopyPolicy()); err != nil {
+		return nil, err
+	}
+	sites := make([]replication.Site, 0, 3)
+	for _, s := range cluster.Sites() {
+		sites = append(sites, replication.Site{Name: s, Blobs: cluster.Blobs[s]})
+	}
+	dyn := replication.NewDynamic(sim, cluster.Dir, corpus, sites)
+	links := map[string]*netsim.Link{}
+	for name, node := range cluster.Nodes {
+		links[name] = node.Link()
+	}
+	dyn.SetLinks(links)
+	dyn.Start(simtime.Seconds(20), 4)
+
+	out := &Series{System: SysQuaSAQ, Bucket: cfg.Bucket}
+	mgr := core.NewManager(cluster, core.LRB{})
+	var admitTimes []simtime.Time
+	gen := paperWorkload(cfg.Seed, cluster, corpus)
+	gen.Drive(sim, cfg.Horizon, func(r workload.Request) {
+		out.Queries++
+		dyn.Observe(r.Video, r.Req)
+		if _, err := mgr.Service(r.Site, r.Video, r.Req, core.ServiceOptions{
+			OnDone: func(d *core.Delivery) {
+				out.Completed++
+				if d.Session.QoSOK() {
+					out.QoSOK++
+				}
+			},
+		}); err != nil {
+			out.Rejected++
+		} else {
+			out.Admitted++
+			admitTimes = append(admitTimes, sim.Now())
+		}
+	})
+	samples := int(cfg.Horizon / cfg.Bucket)
+	for i := 1; i <= samples; i++ {
+		at := simtime.Time(i) * cfg.Bucket
+		sim.ScheduleAt(at, func() {
+			out.Times = append(out.Times, simtime.ToSeconds(sim.Now()))
+			out.Outstanding = append(out.Outstanding, float64(cluster.OutstandingSessions()))
+		})
+	}
+	sim.RunUntil(cfg.Horizon)
+	res.DynamicSingle = out
+	res.ReplicasCreated = dyn.Created()
+
+	half := cfg.Horizon / 2
+	var first, second int
+	for _, t := range admitTimes {
+		if t < half {
+			first++
+		} else {
+			second++
+		}
+	}
+	halfSecs := simtime.ToSeconds(half)
+	res.DynamicAdmitFirstHalf = float64(first) / halfSecs
+	res.DynamicAdmitSecondHalf = float64(second) / halfSecs
+	return res, nil
+}
+
+// FormatDynamic renders the comparison.
+func FormatDynamic(r *DynamicResult) string {
+	var b strings.Builder
+	b.WriteString("Dynamic replication (extension of §2 item 1: single-copy start)\n")
+	fmt.Fprintf(&b, "%-28s %10s %10s %10s\n", "Configuration", "SteadyOut", "Admitted", "QoS-OK")
+	row := func(name string, s *Series) {
+		fmt.Fprintf(&b, "%-28s %10.1f %10d %10d\n", name, s.SteadyOutstanding(), s.Admitted, s.QoSOK)
+	}
+	row("single-copy, static", r.StaticSingle)
+	row("single-copy + dynamic", r.DynamicSingle)
+	row("offline full ladder", r.FullReplica)
+	fmt.Fprintf(&b, "replicas materialized online: %d\n", r.ReplicasCreated)
+	fmt.Fprintf(&b, "dynamic admission rate: %.2f/s first half -> %.2f/s second half\n",
+		r.DynamicAdmitFirstHalf, r.DynamicAdmitSecondHalf)
+	return b.String()
+}

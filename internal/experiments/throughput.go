@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"quasaq/internal/core"
+	"quasaq/internal/media"
+	"quasaq/internal/replication"
+	"quasaq/internal/simtime"
+	"quasaq/internal/stats"
+	"quasaq/internal/transport"
+	"quasaq/internal/workload"
+)
+
+// SystemKind selects which delivery system a throughput run exercises.
+type SystemKind int
+
+// The three systems compared in Figure 6, plus QuaSAQ cost-model variants
+// for Figure 7 and the ablations.
+const (
+	SysVDBMS SystemKind = iota
+	SysQoSAPI
+	SysQuaSAQ
+	SysQuaSAQRandom
+	SysQuaSAQMinSum
+	SysQuaSAQStatic
+)
+
+// String names the system as the paper's legends do.
+func (s SystemKind) String() string {
+	switch s {
+	case SysVDBMS:
+		return "VDBMS"
+	case SysQoSAPI:
+		return "VDBMS+QoS API"
+	case SysQuaSAQ:
+		return "VDBMS+QuaSAQ"
+	case SysQuaSAQRandom:
+		return "QuaSAQ (Random)"
+	case SysQuaSAQMinSum:
+		return "QuaSAQ (Min-Sum)"
+	case SysQuaSAQStatic:
+		return "QuaSAQ (Static)"
+	default:
+		return fmt.Sprintf("SystemKind(%d)", int(s))
+	}
+}
+
+// ThroughputConfig parameterizes a throughput run.
+type ThroughputConfig struct {
+	Seed    int64
+	Horizon simtime.Time // total simulated time
+	Bucket  simtime.Time // sampling bucket for the series
+	// SingleCopy switches replication to the single-copy ablation.
+	SingleCopy bool
+}
+
+// DefaultFig6Config is the paper's Figure 6 setup: 1000 seconds, queries
+// every ~1 s.
+func DefaultFig6Config() ThroughputConfig {
+	return ThroughputConfig{Seed: 11, Horizon: simtime.Seconds(1000), Bucket: simtime.Seconds(20)}
+}
+
+// DefaultFig7Config is the paper's Figure 7 setup: 7000 seconds.
+func DefaultFig7Config() ThroughputConfig {
+	return ThroughputConfig{Seed: 13, Horizon: simtime.Seconds(7000), Bucket: simtime.Seconds(100)}
+}
+
+// Series is one system's throughput trajectory.
+type Series struct {
+	System SystemKind
+	Bucket simtime.Time
+	Times  []float64 // bucket end times, seconds
+
+	Outstanding []float64 // sampled outstanding sessions (Fig 6a / 7a)
+	SucceededPM []float64 // QoS-succeeding completions per minute (Fig 6b)
+	CumRejects  []float64 // cumulative rejected queries (Fig 7b)
+
+	Queries   int
+	Admitted  int
+	Rejected  int
+	Completed int
+	QoSOK     int
+}
+
+// SteadyOutstanding averages the outstanding-session samples over the last
+// half of the run: the "stable stage" the paper compares (§5.2).
+func (s *Series) SteadyOutstanding() float64 {
+	n := len(s.Outstanding)
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.Outstanding[n/2:] {
+		sum += v
+	}
+	return sum / float64(n-n/2)
+}
+
+// RunThroughput runs one system against the paper's workload.
+func RunThroughput(sys SystemKind, cfg ThroughputConfig) (*Series, error) {
+	sim := simtime.NewSimulator()
+	cluster := core.TestbedCluster(sim)
+	corpus := media.StandardCorpus(uint64(cfg.Seed))
+	pol := replication.DefaultPolicy()
+	if cfg.SingleCopy {
+		pol = replication.SingleCopyPolicy()
+	}
+	if _, err := cluster.LoadCorpus(corpus, pol); err != nil {
+		return nil, err
+	}
+
+	out := &Series{System: sys, Bucket: cfg.Bucket}
+	succeeded := stats.NewTimeSeries(cfg.Bucket)
+	rejects := stats.NewTimeSeries(cfg.Bucket)
+
+	onSessionDone := func(sess *transport.Session) {
+		out.Completed++
+		if sess.QoSOK() {
+			out.QoSOK++
+			succeeded.Observe(sess.Finished(), 1)
+		}
+	}
+
+	var serve func(site string, id media.VideoID, req workload.Request) error
+	switch sys {
+	case SysVDBMS:
+		svc := core.NewVDBMSService(cluster)
+		serve = func(site string, id media.VideoID, _ workload.Request) error {
+			_, err := svc.Service(site, id, 0, onSessionDone)
+			return err
+		}
+	case SysQoSAPI:
+		svc := core.NewQoSAPIService(cluster)
+		serve = func(site string, id media.VideoID, _ workload.Request) error {
+			_, err := svc.Service(site, id, 0, onSessionDone)
+			return err
+		}
+	default:
+		var model core.CostModel
+		switch sys {
+		case SysQuaSAQRandom:
+			model = core.NewRandom(simtime.NewRand(cfg.Seed + 1000))
+		case SysQuaSAQMinSum:
+			model = core.MinSum{}
+		case SysQuaSAQStatic:
+			model = core.StaticCheapest{}
+		default:
+			model = core.LRB{}
+		}
+		mgr := core.NewManager(cluster, model)
+		serve = func(site string, id media.VideoID, req workload.Request) error {
+			_, err := mgr.Service(site, id, req.Req, core.ServiceOptions{
+				OnDone: func(d *core.Delivery) { onSessionDone(d.Session) },
+			})
+			return err
+		}
+	}
+
+	gen := paperWorkload(cfg.Seed, cluster, corpus)
+	gen.Drive(sim, cfg.Horizon, func(r workload.Request) {
+		out.Queries++
+		if err := serve(r.Site, r.Video, r); err != nil {
+			out.Rejected++
+			rejects.Observe(sim.Now(), 1)
+		} else {
+			out.Admitted++
+		}
+	})
+
+	// Sample outstanding sessions once per bucket.
+	samples := int(cfg.Horizon / cfg.Bucket)
+	for i := 1; i <= samples; i++ {
+		at := simtime.Time(i) * cfg.Bucket
+		sim.ScheduleAt(at, func() {
+			out.Times = append(out.Times, simtime.ToSeconds(sim.Now()))
+			out.Outstanding = append(out.Outstanding, float64(cluster.OutstandingSessions()))
+		})
+	}
+	sim.RunUntil(cfg.Horizon)
+
+	perMinFactor := 60 / simtime.ToSeconds(cfg.Bucket)
+	for i := 0; i < samples; i++ {
+		out.SucceededPM = append(out.SucceededPM, succeeded.Sum(i)*perMinFactor)
+	}
+	cum := 0.0
+	for i := 0; i < samples; i++ {
+		cum += rejects.Sum(i)
+		out.CumRejects = append(out.CumRejects, cum)
+	}
+	return out, nil
+}
+
+// RunFig6 reproduces Figure 6: the three systems under identical query
+// streams.
+func RunFig6(cfg ThroughputConfig) ([]*Series, error) {
+	var out []*Series
+	for _, sys := range []SystemKind{SysVDBMS, SysQoSAPI, SysQuaSAQ} {
+		s, err := RunThroughput(sys, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %v: %w", sys, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// RunFig7 reproduces Figure 7: QuaSAQ under the LRB model vs the
+// randomized plan selector.
+func RunFig7(cfg ThroughputConfig) ([]*Series, error) {
+	var out []*Series
+	for _, sys := range []SystemKind{SysQuaSAQRandom, SysQuaSAQ} {
+		s, err := RunThroughput(sys, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %v: %w", sys, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// FormatThroughput renders series the way the paper's figures are read:
+// steady-state outstanding sessions, success rates, rejects.
+func FormatThroughput(title string, series []*Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-18s %8s %9s %9s %10s %12s %12s\n",
+		"System", "Queries", "Admitted", "Rejected", "Completed", "QoS-OK/min", "SteadyOut")
+	for _, s := range series {
+		dur := simtime.ToSeconds(s.Bucket) * float64(len(s.SucceededPM))
+		perMin := 0.0
+		if dur > 0 {
+			perMin = float64(s.QoSOK) / dur * 60
+		}
+		fmt.Fprintf(&b, "%-18s %8d %9d %9d %10d %12.1f %12.1f\n",
+			s.System, s.Queries, s.Admitted, s.Rejected, s.Completed, perMin, s.SteadyOutstanding())
+	}
+	b.WriteString("\nOutstanding sessions over time:\n")
+	for _, s := range series {
+		tr := &stats.Trace{}
+		for i, v := range s.Outstanding {
+			tr.Add(simtime.Time(i), v)
+		}
+		fmt.Fprintf(&b, "\n%s\n%s", s.System, tr.ASCIIPlot(80, 6, 0))
+	}
+	return b.String()
+}

@@ -1,0 +1,241 @@
+// Package gara is the reproduction of the paper's composite QoS API layer
+// (§3.5), named after the GARA middleware the prototype built on. It unifies
+// per-resource managers — CPU (the DSRT-style scheduler in cpusched),
+// network bandwidth (netsim links), disk bandwidth and buffer memory — behind
+// a single entry point offering the three operations the paper lists:
+// admission control, resource reservation, and renegotiation.
+//
+// One Node holds the managers of one database server; a Lease is an
+// end-to-end reservation spanning all four resources for the lifetime of a
+// media delivery job.
+package gara
+
+import (
+	"errors"
+	"fmt"
+
+	"quasaq/internal/cpusched"
+	"quasaq/internal/netsim"
+	"quasaq/internal/qos"
+	"quasaq/internal/simtime"
+)
+
+// ErrRejected reports an admission-control rejection.
+var ErrRejected = errors.New("gara: admission control rejected reservation")
+
+// NodeCapacity configures one server's resources. The defaults mirror the
+// paper's testbed: one CPU, 3200 KB/s outbound streaming bandwidth, a disk
+// read path comfortably above the link, and 1 GB of buffer memory.
+type NodeCapacity struct {
+	CPUCores      float64 // usable CPU, fraction of one core
+	NetBandwidth  float64 // bytes per second
+	DiskBandwidth float64 // bytes per second
+	Memory        float64 // bytes
+}
+
+// DefaultCapacity returns the testbed-equivalent capacity (§5).
+func DefaultCapacity() NodeCapacity {
+	return NodeCapacity{
+		CPUCores:      cpusched.DefaultMaxUtilization,
+		NetBandwidth:  3200e3,
+		DiskBandwidth: 20e6,
+		Memory:        1 << 30,
+	}
+}
+
+// Vector converts the capacity to a resource vector.
+func (c NodeCapacity) Vector() qos.ResourceVector {
+	var v qos.ResourceVector
+	v[qos.ResCPU] = c.CPUCores
+	v[qos.ResNetBandwidth] = c.NetBandwidth
+	v[qos.ResDiskBandwidth] = c.DiskBandwidth
+	v[qos.ResMemory] = c.Memory
+	return v
+}
+
+// Node bundles one server's resource managers.
+type Node struct {
+	name string
+	sim  *simtime.Simulator
+
+	cpu  *cpusched.CPU
+	link *netsim.Link
+
+	capacity qos.ResourceVector
+	diskUsed float64
+	memUsed  float64
+	netResv  float64 // mirrors link reservations made through leases
+
+	leases int
+}
+
+// NewNode creates a node with its CPU scheduler and outbound link.
+func NewNode(sim *simtime.Simulator, name string, cap NodeCapacity) *Node {
+	cpu := cpusched.New(sim, cpusched.DefaultQuantum)
+	cpu.SetMaxUtilization(cap.CPUCores)
+	return &Node{
+		name:     name,
+		sim:      sim,
+		cpu:      cpu,
+		link:     netsim.NewLink(sim, name+"-out", cap.NetBandwidth),
+		capacity: cap.Vector(),
+	}
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// CPU exposes the node's CPU scheduler (for best-effort jobs and direct
+// submission by the transport layer).
+func (n *Node) CPU() *cpusched.CPU { return n.cpu }
+
+// Link exposes the node's outbound link.
+func (n *Node) Link() *netsim.Link { return n.link }
+
+// Capacity returns the node's total resource vector — the bucket heights
+// R_i of the LRB cost model (Eq. 1).
+func (n *Node) Capacity() qos.ResourceVector { return n.capacity }
+
+// Usage returns the node's current reserved/used resource vector — the
+// bucket fillings U_i of Eq. 1.
+func (n *Node) Usage() qos.ResourceVector {
+	var v qos.ResourceVector
+	v[qos.ResCPU] = n.cpu.ReservedUtilization()
+	v[qos.ResNetBandwidth] = n.netResv
+	v[qos.ResDiskBandwidth] = n.diskUsed
+	v[qos.ResMemory] = n.memUsed
+	return v
+}
+
+// Leases returns the number of live leases, i.e. admitted delivery jobs.
+func (n *Node) Leases() int { return n.leases }
+
+// Admit reports whether the demand vector fits the node right now. This is
+// the admission-control check of the composite QoS API; Reserve may still
+// fail if conditions change between Admit and Reserve.
+func (n *Node) Admit(v qos.ResourceVector) bool {
+	return v.FitsWithin(n.Usage(), n.capacity)
+}
+
+// Lease is an end-to-end resource reservation on one node.
+type Lease struct {
+	node     *Node
+	vec      qos.ResourceVector
+	period   simtime.Time
+	name     string
+	cpuJob   *cpusched.Job
+	netResv  *netsim.Reservation
+	released bool
+}
+
+// Reserve atomically acquires the demand vector for a delivery job. The
+// period parameter sets the CPU reservation granularity (normally the
+// stream's frame interval). Reservation is all-or-nothing: on any failure
+// every partial acquisition is rolled back and ErrRejected is returned.
+func (n *Node) Reserve(name string, v qos.ResourceVector, period simtime.Time) (*Lease, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("gara: non-positive period %v", period)
+	}
+	// Cheap checks first: disk and memory counters.
+	if n.diskUsed+v[qos.ResDiskBandwidth] > n.capacity[qos.ResDiskBandwidth]+1e-9 ||
+		n.memUsed+v[qos.ResMemory] > n.capacity[qos.ResMemory]+1e-9 {
+		return nil, fmt.Errorf("%w: disk/memory on %s", ErrRejected, n.name)
+	}
+	l := &Lease{node: n, vec: v, period: period, name: name}
+	if v[qos.ResNetBandwidth] > 0 {
+		r, err := n.link.Reserve(v[qos.ResNetBandwidth])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+		}
+		l.netResv = r
+		n.netResv += v[qos.ResNetBandwidth]
+	}
+	if v[qos.ResCPU] > 0 {
+		slice := simtime.Time(float64(period) * v[qos.ResCPU])
+		if slice <= 0 {
+			slice = 1
+		}
+		job, err := n.cpu.NewReservedJob(name, period, slice)
+		if err != nil {
+			l.rollbackNet()
+			return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+		}
+		l.cpuJob = job
+	}
+	n.diskUsed += v[qos.ResDiskBandwidth]
+	n.memUsed += v[qos.ResMemory]
+	n.leases++
+	return l, nil
+}
+
+func (l *Lease) rollbackNet() {
+	if l.netResv != nil {
+		l.netResv.Release()
+		l.node.netResv -= l.vec[qos.ResNetBandwidth]
+		if l.node.netResv < 0 {
+			l.node.netResv = 0
+		}
+		l.netResv = nil
+	}
+}
+
+// Node returns the node the lease lives on.
+func (l *Lease) Node() *Node { return l.node }
+
+// Vector returns the reserved resource vector.
+func (l *Lease) Vector() qos.ResourceVector { return l.vec }
+
+// CPUJob returns the reserved CPU job backing the lease, or nil when the
+// lease reserved no CPU.
+func (l *Lease) CPUJob() *cpusched.Job { return l.cpuJob }
+
+// Release returns every resource to the node. Idempotent.
+func (l *Lease) Release() {
+	if l.released {
+		return
+	}
+	l.released = true
+	n := l.node
+	l.rollbackNet()
+	if l.cpuJob != nil {
+		l.cpuJob.Finish()
+		l.cpuJob = nil
+	}
+	n.diskUsed -= l.vec[qos.ResDiskBandwidth]
+	if n.diskUsed < 0 {
+		n.diskUsed = 0
+	}
+	n.memUsed -= l.vec[qos.ResMemory]
+	if n.memUsed < 0 {
+		n.memUsed = 0
+	}
+	n.leases--
+}
+
+// Renegotiate atomically replaces the lease's reservation with a new
+// vector — the paper's renegotiation path, triggered by user QoP changes
+// during playback or as the "second chance" after a rejection (§3.2).
+// On failure the original reservation is reinstated and an error returned.
+// On success the lease's CPU job is replaced; callers streaming against the
+// old job must rebind to CPUJob().
+func (l *Lease) Renegotiate(v qos.ResourceVector) error {
+	if l.released {
+		return errors.New("gara: renegotiate on released lease")
+	}
+	old := l.vec
+	n := l.node
+	name, period := l.name, l.period
+	l.Release()
+	nl, err := n.Reserve(name, v, period)
+	if err == nil {
+		*l = *nl
+		return nil
+	}
+	// Restore: the old vector just fit, so this cannot fail.
+	ol, rerr := n.Reserve(name, old, period)
+	if rerr != nil {
+		return fmt.Errorf("gara: renegotiation lost original reservation: %v (after %w)", rerr, err)
+	}
+	*l = *ol
+	return err
+}

@@ -1,0 +1,208 @@
+// Package metadata implements the Distributed Metadata Engine of §3.3: the
+// mapping from logical video OIDs to the physical replicas spread over the
+// cluster, each replica's quality metadata (application QoS), its
+// distribution metadata (site, blob), and its QoS profile (the per-delivery
+// resource vector measured offline by the QoS sampler).
+//
+// Metadata is distributed: each site's Store authoritatively describes the
+// replicas that site hosts. A site resolves non-local metadata through the
+// Directory, which "uses caching to accelerate non-local metadata
+// accesses"; hit/miss counters expose the cache's effect.
+package metadata
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"quasaq/internal/media"
+	"quasaq/internal/qos"
+	"quasaq/internal/storage"
+)
+
+// Replica is one physical copy of a video: the unit the plan generator
+// chooses among (elements of set A1 in Figure 2).
+type Replica struct {
+	Video   media.VideoID
+	Site    string
+	Seq     int // per-(video,site) sequence number
+	Variant media.Variant
+	Blob    storage.BlobID
+	// Profile is the replica's QoS profile (§3.3): the resource vector one
+	// plain delivery of this replica consumes, measured offline by the QoS
+	// sampler and used for cost estimation.
+	Profile qos.ResourceVector
+}
+
+// ID renders a stable replica identifier.
+func (r *Replica) ID() string {
+	return fmt.Sprintf("%s@%s#%d", r.Video, r.Site, r.Seq)
+}
+
+// Store is one site's authoritative metadata collection.
+type Store struct {
+	site string
+
+	mu       sync.RWMutex
+	byVideo  map[media.VideoID][]*Replica
+	replicas int
+}
+
+// NewStore creates the metadata store for a site.
+func NewStore(site string) *Store {
+	return &Store{site: site, byVideo: make(map[media.VideoID][]*Replica)}
+}
+
+// Site returns the owning site's name.
+func (s *Store) Site() string { return s.site }
+
+// Add registers a replica hosted at this site. The replica's Seq is
+// assigned here.
+func (s *Store) Add(r *Replica) error {
+	if r.Site != s.site {
+		return fmt.Errorf("metadata: replica site %q registered at store %q", r.Site, s.site)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.Seq = len(s.byVideo[r.Video]) + 1
+	s.byVideo[r.Video] = append(s.byVideo[r.Video], r)
+	s.replicas++
+	return nil
+}
+
+// Local returns this site's replicas of the video.
+func (s *Store) Local(id media.VideoID) []*Replica {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*Replica(nil), s.byVideo[id]...)
+}
+
+// Count returns the number of replicas hosted at the site.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.replicas
+}
+
+// Directory federates the per-site stores. One Directory instance serves
+// the whole simulated cluster; per-site caches model the paper's metadata
+// caching.
+type Directory struct {
+	mu     sync.RWMutex
+	stores map[string]*Store
+	caches map[string]map[media.VideoID][]*Replica
+
+	remoteLookups uint64
+	cacheHits     uint64
+	cacheEnabled  bool
+}
+
+// NewDirectory creates a directory with caching enabled.
+func NewDirectory() *Directory {
+	return &Directory{
+		stores:       make(map[string]*Store),
+		caches:       make(map[string]map[media.VideoID][]*Replica),
+		cacheEnabled: true,
+	}
+}
+
+// SetCaching toggles the non-local metadata cache (the cache on/off
+// ablation in DESIGN.md).
+func (d *Directory) SetCaching(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cacheEnabled = on
+	if !on {
+		d.caches = make(map[string]map[media.VideoID][]*Replica)
+	}
+}
+
+// AddStore registers a site's store.
+func (d *Directory) AddStore(s *Store) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.stores[s.Site()]; dup {
+		return fmt.Errorf("metadata: duplicate store for site %q", s.Site())
+	}
+	d.stores[s.Site()] = s
+	return nil
+}
+
+// Store returns a site's store.
+func (d *Directory) Store(site string) (*Store, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s, ok := d.stores[site]
+	if !ok {
+		return nil, fmt.Errorf("metadata: no store for site %q", site)
+	}
+	return s, nil
+}
+
+// Sites returns the registered site names, sorted.
+func (d *Directory) Sites() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.stores))
+	for s := range d.stores {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup resolves every replica of the video cluster-wide, as seen from
+// the querying site: local metadata is read directly, remote metadata goes
+// through the site's cache.
+func (d *Directory) Lookup(fromSite string, id media.VideoID) []*Replica {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []*Replica
+	if local, ok := d.stores[fromSite]; ok {
+		out = append(out, local.Local(id)...)
+	}
+	if d.cacheEnabled {
+		if cached, ok := d.caches[fromSite][id]; ok {
+			d.cacheHits++
+			return append(out, cached...)
+		}
+	}
+	var remote []*Replica
+	for site, s := range d.stores {
+		if site == fromSite {
+			continue
+		}
+		d.remoteLookups++
+		remote = append(remote, s.Local(id)...)
+	}
+	sort.Slice(remote, func(i, j int) bool {
+		if remote[i].Site != remote[j].Site {
+			return remote[i].Site < remote[j].Site
+		}
+		return remote[i].Seq < remote[j].Seq
+	})
+	if d.cacheEnabled {
+		if d.caches[fromSite] == nil {
+			d.caches[fromSite] = make(map[media.VideoID][]*Replica)
+		}
+		d.caches[fromSite][id] = remote
+	}
+	return append(out, remote...)
+}
+
+// Invalidate drops cached entries for the video at every site; call after
+// replication changes (dynamic replication/migration, §2 item 1).
+func (d *Directory) Invalidate(id media.VideoID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, c := range d.caches {
+		delete(c, id)
+	}
+}
+
+// CacheStats returns cumulative remote lookups and cache hits.
+func (d *Directory) CacheStats() (remote, hits uint64) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.remoteLookups, d.cacheHits
+}

@@ -1,0 +1,277 @@
+// Package mpeg implements a toy MPEG-1-like bitstream with the three layers
+// the paper's streamer cares about: sequence, group-of-pictures, and
+// picture. The original prototype "decodes the layering information of MPEG
+// stream files" to packetize and to drop frames (§4); this reproduction does
+// the same against a simplified but real byte format, so the transport,
+// frame-dropping and encryption activities operate on actual data.
+//
+// The format is not interoperable with real MPEG-1; it preserves exactly the
+// structure QuaSAQ exploits: typed pictures (I/P/B) with per-picture sizes,
+// grouped into fixed-pattern GOPs, under a sequence header carrying the
+// application QoS of the coded material.
+package mpeg
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"quasaq/internal/media"
+	"quasaq/internal/qos"
+)
+
+// Start codes, loosely mirroring MPEG-1's 0x000001xx convention.
+const (
+	magic      = "QSQM" // sequence header magic
+	version    = 1
+	codeGOP    = 0xB8 // GOP header start code suffix (as in MPEG-1)
+	codePic    = 0x00 // picture start code suffix
+	codeSeqEnd = 0xB7 // sequence end code suffix
+)
+
+// ErrCorrupt reports a malformed bitstream.
+var ErrCorrupt = errors.New("mpeg: corrupt bitstream")
+
+// StreamInfo is the decoded sequence-layer header.
+type StreamInfo struct {
+	Quality    qos.AppQoS
+	FrameCount int
+	GOPLen     int
+}
+
+// Frame is one decoded picture.
+type Frame struct {
+	Index   int
+	Kind    media.FrameKind
+	Payload []byte
+}
+
+// Size returns the coded payload size in bytes.
+func (f Frame) Size() int { return len(f.Payload) }
+
+// Encoder writes a toy bitstream for a (video, variant) pair. Payload bytes
+// are deterministic pseudo-noise derived from the video seed, so encoders
+// are reproducible and encrypted output is non-trivial.
+type Encoder struct {
+	w     *bufio.Writer
+	video *media.Video
+	va    media.Variant
+	next  int
+	limit int
+	done  bool
+}
+
+// NewEncoder prepares an encoder emitting at most maxFrames pictures
+// (maxFrames <= 0 means the whole video) and writes the sequence header.
+func NewEncoder(w io.Writer, v *media.Video, va media.Variant, maxFrames int) (*Encoder, error) {
+	if err := va.Quality.Validate(); err != nil {
+		return nil, fmt.Errorf("mpeg: %w", err)
+	}
+	total := v.Frames()
+	if maxFrames > 0 && maxFrames < total {
+		total = maxFrames
+	}
+	e := &Encoder{w: bufio.NewWriter(w), video: v, va: va, limit: total}
+	if err := e.writeHeader(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *Encoder) writeHeader() error {
+	q := e.va.Quality
+	hdr := make([]byte, 0, 32)
+	hdr = append(hdr, magic...)
+	hdr = append(hdr, version)
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(q.Resolution.W))
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(q.Resolution.H))
+	hdr = append(hdr, byte(q.ColorDepth))
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(math.Round(q.FrameRate*100)))
+	hdr = append(hdr, byte(q.Format), byte(q.Security))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(e.limit))
+	hdr = append(hdr, byte(e.video.GOP.Len()))
+	_, err := e.w.Write(hdr)
+	return err
+}
+
+// EncodeNext emits the next picture (and a GOP header when one begins). It
+// returns io.EOF after the last frame has been written.
+func (e *Encoder) EncodeNext() error {
+	if e.next >= e.limit {
+		return io.EOF
+	}
+	i := e.next
+	e.next++
+	if i%e.video.GOP.Len() == 0 {
+		gop := []byte{0, 0, 1, codeGOP}
+		gop = binary.BigEndian.AppendUint32(gop, uint32(i/e.video.GOP.Len()))
+		if _, err := e.w.Write(gop); err != nil {
+			return err
+		}
+	}
+	size := e.va.FrameSize(e.video, i)
+	pic := []byte{0, 0, 1, codePic, byte(e.video.GOP.Kind(i))}
+	pic = binary.BigEndian.AppendUint32(pic, uint32(size))
+	if _, err := e.w.Write(pic); err != nil {
+		return err
+	}
+	return writeNoise(e.w, e.video.Seed^uint64(i)*0x9E3779B97F4A7C15, size)
+}
+
+// Close writes the sequence end code and flushes. Further EncodeNext calls
+// fail.
+func (e *Encoder) Close() error {
+	if e.done {
+		return nil
+	}
+	e.done = true
+	e.next = e.limit
+	if _, err := e.w.Write([]byte{0, 0, 1, codeSeqEnd}); err != nil {
+		return err
+	}
+	return e.w.Flush()
+}
+
+// Encode writes the complete bitstream for (v, va), up to maxFrames frames.
+func Encode(w io.Writer, v *media.Video, va media.Variant, maxFrames int) error {
+	e, err := NewEncoder(w, v, va, maxFrames)
+	if err != nil {
+		return err
+	}
+	for {
+		if err := e.EncodeNext(); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+	}
+	return e.Close()
+}
+
+// writeNoise emits n deterministic pseudo-random bytes.
+func writeNoise(w io.Writer, seed uint64, n int) error {
+	var buf [4096]byte
+	x := seed | 1
+	for n > 0 {
+		chunk := n
+		if chunk > len(buf) {
+			chunk = len(buf)
+		}
+		for i := 0; i < chunk; i += 8 {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			binary.LittleEndian.PutUint64(buf[i&^7:], x)
+		}
+		if _, err := w.Write(buf[:chunk]); err != nil {
+			return err
+		}
+		n -= chunk
+	}
+	return nil
+}
+
+// Parser reads a toy bitstream, exposing the layering information.
+type Parser struct {
+	r     *bufio.Reader
+	info  StreamInfo
+	index int
+	gop   int
+	done  bool
+}
+
+// NewParser reads and validates the sequence header.
+func NewParser(r io.Reader) (*Parser, error) {
+	p := &Parser{r: bufio.NewReader(r)}
+	hdr := make([]byte, 18)
+	if _, err := io.ReadFull(p.r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: short sequence header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:4])
+	}
+	if hdr[4] != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, hdr[4])
+	}
+	p.info = StreamInfo{
+		Quality: qos.AppQoS{
+			Resolution: qos.Resolution{
+				W: int(binary.BigEndian.Uint16(hdr[5:7])),
+				H: int(binary.BigEndian.Uint16(hdr[7:9])),
+			},
+			ColorDepth: int(hdr[9]),
+			FrameRate:  float64(binary.BigEndian.Uint16(hdr[10:12])) / 100,
+			Format:     qos.Format(hdr[12]),
+			Security:   qos.SecurityLevel(hdr[13]),
+		},
+		FrameCount: int(binary.BigEndian.Uint32(hdr[14:18])),
+	}
+	gopLen, err := p.r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing GOP length", ErrCorrupt)
+	}
+	p.info.GOPLen = int(gopLen)
+	if err := p.info.Quality.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if p.info.GOPLen <= 0 {
+		return nil, fmt.Errorf("%w: GOP length 0", ErrCorrupt)
+	}
+	return p, nil
+}
+
+// Info returns the sequence header contents.
+func (p *Parser) Info() StreamInfo { return p.info }
+
+// GOPIndex returns the index of the GOP the most recent frame belonged to.
+func (p *Parser) GOPIndex() int { return p.gop }
+
+// NextFrame returns the next picture, skipping GOP headers. It returns
+// io.EOF at the sequence end code.
+func (p *Parser) NextFrame() (Frame, error) {
+	if p.done {
+		return Frame{}, io.EOF
+	}
+	for {
+		var start [4]byte
+		if _, err := io.ReadFull(p.r, start[:]); err != nil {
+			return Frame{}, fmt.Errorf("%w: missing start code: %v", ErrCorrupt, err)
+		}
+		if start[0] != 0 || start[1] != 0 || start[2] != 1 {
+			return Frame{}, fmt.Errorf("%w: bad start code % x", ErrCorrupt, start)
+		}
+		switch start[3] {
+		case codeSeqEnd:
+			p.done = true
+			return Frame{}, io.EOF
+		case codeGOP:
+			var idx [4]byte
+			if _, err := io.ReadFull(p.r, idx[:]); err != nil {
+				return Frame{}, fmt.Errorf("%w: short GOP header", ErrCorrupt)
+			}
+			p.gop = int(binary.BigEndian.Uint32(idx[:]))
+		case codePic:
+			var ph [5]byte
+			if _, err := io.ReadFull(p.r, ph[:]); err != nil {
+				return Frame{}, fmt.Errorf("%w: short picture header", ErrCorrupt)
+			}
+			kind := media.FrameKind(ph[0])
+			if kind > media.FrameB {
+				return Frame{}, fmt.Errorf("%w: bad picture type %d", ErrCorrupt, ph[0])
+			}
+			size := int(binary.BigEndian.Uint32(ph[1:5]))
+			payload := make([]byte, size)
+			if _, err := io.ReadFull(p.r, payload); err != nil {
+				return Frame{}, fmt.Errorf("%w: truncated picture payload", ErrCorrupt)
+			}
+			f := Frame{Index: p.index, Kind: kind, Payload: payload}
+			p.index++
+			return f, nil
+		default:
+			return Frame{}, fmt.Errorf("%w: unknown start code %#x", ErrCorrupt, start[3])
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package mpeg
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"quasaq/internal/media"
+	"quasaq/internal/qos"
+	"quasaq/internal/simtime"
+)
+
+func testVideo() *media.Video {
+	return &media.Video{
+		ID:        7,
+		Title:     "clip",
+		Duration:  simtime.Seconds(5),
+		FrameRate: 24,
+		GOP:       media.DefaultGOP(),
+		Seed:      99,
+	}
+}
+
+func testVariant() media.Variant {
+	return media.NewVariant(qos.AppQoS{
+		Resolution: qos.ResQCIF, ColorDepth: 8, FrameRate: 24, Format: qos.FormatMPEG1,
+	})
+}
+
+func encodeClip(t *testing.T, maxFrames int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, testVideo(), testVariant(), maxFrames); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	v, va := testVideo(), testVariant()
+	data := encodeClip(t, 0)
+	p, err := NewParser(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("parser: %v", err)
+	}
+	info := p.Info()
+	if info.Quality != va.Quality {
+		t.Fatalf("quality round trip: got %v want %v", info.Quality, va.Quality)
+	}
+	if info.FrameCount != v.Frames() {
+		t.Fatalf("frame count = %d, want %d", info.FrameCount, v.Frames())
+	}
+	if info.GOPLen != 15 {
+		t.Fatalf("gop len = %d", info.GOPLen)
+	}
+	n := 0
+	for {
+		f, err := p.NextFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("frame %d: %v", n, err)
+		}
+		if f.Index != n {
+			t.Fatalf("index = %d, want %d", f.Index, n)
+		}
+		if f.Kind != v.GOP.Kind(n) {
+			t.Fatalf("frame %d kind = %v, want %v", n, f.Kind, v.GOP.Kind(n))
+		}
+		if f.Size() != va.FrameSize(v, n) {
+			t.Fatalf("frame %d size = %d, want %d", n, f.Size(), va.FrameSize(v, n))
+		}
+		n++
+	}
+	if n != v.Frames() {
+		t.Fatalf("parsed %d frames, want %d", n, v.Frames())
+	}
+}
+
+func TestEncodeMaxFrames(t *testing.T) {
+	data := encodeClip(t, 10)
+	counts, err := CountFrames(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := counts[media.FrameI] + counts[media.FrameP] + counts[media.FrameB]
+	if total != 10 {
+		t.Fatalf("frames = %d, want 10", total)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a := encodeClip(t, 30)
+	b := encodeClip(t, 30)
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoder is not deterministic")
+	}
+}
+
+func TestParserRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("shrt"),
+		[]byte("XXXX" + strings.Repeat("\x00", 20)),
+		append([]byte("QSQM\x02"), make([]byte, 20)...), // bad version
+	}
+	for i, data := range cases {
+		if _, err := NewParser(bytes.NewReader(data)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestParserRejectsTruncatedPayload(t *testing.T) {
+	data := encodeClip(t, 5)
+	p, err := NewParser(bytes.NewReader(data[:len(data)-40]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, err := p.NextFrame()
+		if err == io.EOF {
+			t.Fatal("truncated stream parsed to clean EOF")
+		}
+		if err != nil {
+			return // expected corruption error
+		}
+	}
+}
+
+func TestGOPHeadersTracked(t *testing.T) {
+	data := encodeClip(t, 31) // spans three GOPs
+	p, err := NewParser(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 31; i++ {
+		if _, err := p.NextFrame(); err != nil {
+			t.Fatal(err)
+		}
+		if want := i / 15; p.GOPIndex() != want {
+			t.Fatalf("frame %d: gop = %d, want %d", i, p.GOPIndex(), want)
+		}
+	}
+}
+
+func TestFilterDropAllB(t *testing.T) {
+	data := encodeClip(t, 45)
+	var out bytes.Buffer
+	st, err := Filter(bytes.NewReader(data), &out, func(k media.FrameKind, _ int) bool {
+		return k != media.FrameB
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FramesIn != 45 || st.FramesOut != 15 { // 5 non-B per GOP x 3
+		t.Fatalf("frames in/out = %d/%d, want 45/15", st.FramesIn, st.FramesOut)
+	}
+	counts, err := CountFrames(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("filtered stream corrupt: %v", err)
+	}
+	if counts[media.FrameB] != 0 {
+		t.Fatalf("B frames survived filter: %v", counts)
+	}
+	if counts[media.FrameI] != 3 || counts[media.FrameP] != 12 {
+		t.Fatalf("unexpected kept counts: %v", counts)
+	}
+	if st.DropRatio() <= 0 || st.DropRatio() >= 1 {
+		t.Fatalf("drop ratio = %v", st.DropRatio())
+	}
+}
+
+func TestFilterHalfB(t *testing.T) {
+	data := encodeClip(t, 30)
+	var out bytes.Buffer
+	bSeen := 0
+	st, err := Filter(bytes.NewReader(data), &out, func(k media.FrameKind, _ int) bool {
+		if k != media.FrameB {
+			return true
+		}
+		bSeen++
+		return bSeen%2 == 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FramesOut != 20 { // 10 non-B + 10 of 20 B
+		t.Fatalf("frames out = %d, want 20", st.FramesOut)
+	}
+}
+
+func TestFilterKeepAllIsLossless(t *testing.T) {
+	data := encodeClip(t, 30)
+	var out bytes.Buffer
+	st, err := Filter(bytes.NewReader(data), &out, func(media.FrameKind, int) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DroppedBytes != 0 {
+		t.Fatalf("dropped %d bytes with keep-all", st.DroppedBytes)
+	}
+	if !bytes.Equal(data, out.Bytes()) {
+		t.Fatal("keep-all filter is not the identity")
+	}
+}
+
+func TestFilterBytesConserved(t *testing.T) {
+	data := encodeClip(t, 45)
+	var out bytes.Buffer
+	st, err := Filter(bytes.NewReader(data), &out, func(k media.FrameKind, i int) bool {
+		return i%3 != 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BytesIn != st.BytesOut+st.DroppedBytes {
+		t.Fatalf("byte accounting broken: in=%d out=%d dropped=%d", st.BytesIn, st.BytesOut, st.DroppedBytes)
+	}
+}
+
+func TestEncoderCloseIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := NewEncoder(&buf, testVideo(), testVariant(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if err := e.EncodeNext(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+	if err := e.EncodeNext(); err != io.EOF {
+		t.Fatalf("encode after close = %v, want EOF", err)
+	}
+}
+
+func TestNewEncoderRejectsInvalidQuality(t *testing.T) {
+	var buf bytes.Buffer
+	bad := media.Variant{Quality: qos.AppQoS{}}
+	if _, err := NewEncoder(&buf, testVideo(), bad, 1); err == nil {
+		t.Fatal("invalid variant accepted")
+	}
+}
+
+func TestParserNeverPanicsOnCorruption(t *testing.T) {
+	// Property: arbitrary single-byte corruption of a valid stream may
+	// produce errors but never panics and never infinite-loops.
+	data := encodeClip(t, 45)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		corrupt := append([]byte(nil), data...)
+		for k := 0; k < 1+trial%4; k++ {
+			corrupt[rng.Intn(len(corrupt))] ^= byte(1 + rng.Intn(255))
+		}
+		p, err := NewParser(bytes.NewReader(corrupt))
+		if err != nil {
+			continue // header corruption rejected: fine
+		}
+		for frames := 0; frames < 10000; frames++ {
+			if _, err := p.NextFrame(); err != nil {
+				break // EOF or corruption error: fine
+			}
+		}
+	}
+}
+
+func TestParserNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		blob := make([]byte, rng.Intn(4096))
+		rng.Read(blob)
+		p, err := NewParser(bytes.NewReader(blob))
+		if err != nil {
+			continue
+		}
+		for frames := 0; frames < 10000; frames++ {
+			if _, err := p.NextFrame(); err != nil {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package netsim models the network substrate of the paper's testbed: each
+// server's outbound link (3200 KB/s in §5's setup), bandwidth reservations
+// made through the composite QoS API, and max-min fair sharing of the
+// unreserved remainder among best-effort streams (the original VDBMS's
+// behaviour).
+//
+// The paper could not deploy DiffServ ("due to lack of router support ...
+// only admission control is performed in network management"), so the
+// interesting dynamics live at the server outbound links — "a reasonable
+// assumption here is that the bottlenecking link is always the outband link
+// of the servers". This package models exactly that bottleneck.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"quasaq/internal/simtime"
+)
+
+// ErrInsufficientBandwidth reports that a reservation exceeds the link's
+// unreserved capacity.
+var ErrInsufficientBandwidth = errors.New("netsim: insufficient bandwidth")
+
+// Link is one direction of a network attachment with fixed capacity in
+// bytes per second. Reserved bandwidth is guaranteed; best-effort flows
+// share what remains, max-min fairly.
+type Link struct {
+	sim      *simtime.Simulator
+	name     string
+	capacity float64
+
+	reserved float64
+	flows    []*Flow
+
+	peakReserved float64
+}
+
+// NewLink creates a link with the given capacity in bytes per second.
+func NewLink(sim *simtime.Simulator, name string, capacity float64) *Link {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive capacity %v", capacity))
+	}
+	return &Link{sim: sim, name: name, capacity: capacity}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Capacity returns the configured capacity in bytes per second.
+func (l *Link) Capacity() float64 { return l.capacity }
+
+// Reserved returns the total currently reserved bandwidth.
+func (l *Link) Reserved() float64 { return l.reserved }
+
+// Available returns capacity not held by reservations.
+func (l *Link) Available() float64 { return l.capacity - l.reserved }
+
+// PeakReserved returns the high-water mark of reserved bandwidth.
+func (l *Link) PeakReserved() float64 { return l.peakReserved }
+
+// Reservation is a bandwidth guarantee on a link.
+type Reservation struct {
+	link     *Link
+	rate     float64
+	released bool
+}
+
+// Rate returns the reserved bytes per second.
+func (r *Reservation) Rate() float64 { return r.rate }
+
+// Release returns the bandwidth to the link. Idempotent.
+func (r *Reservation) Release() {
+	if r.released {
+		return
+	}
+	r.released = true
+	r.link.reserved -= r.rate
+	if r.link.reserved < 0 {
+		r.link.reserved = 0
+	}
+	r.link.recompute()
+}
+
+// Reserve guarantees rate bytes per second, failing if the unreserved
+// capacity cannot cover it. Best-effort flows are squeezed accordingly.
+func (l *Link) Reserve(rate float64) (*Reservation, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("netsim: non-positive reservation %v", rate)
+	}
+	if l.reserved+rate > l.capacity+1e-9 {
+		return nil, fmt.Errorf("%w: want %.0f, available %.0f of %.0f",
+			ErrInsufficientBandwidth, rate, l.Available(), l.capacity)
+	}
+	l.reserved += rate
+	if l.reserved > l.peakReserved {
+		l.peakReserved = l.reserved
+	}
+	l.recompute()
+	return &Reservation{link: l, rate: rate}, nil
+}
+
+// Flow is a best-effort traffic stream. Its achieved rate is recomputed
+// whenever link membership or reservations change; onRate (optional) is
+// invoked with the new rate.
+type Flow struct {
+	link   *Link
+	demand float64
+	rate   float64
+	onRate func(float64)
+	left   bool
+}
+
+// Join adds a best-effort flow demanding up to demand bytes per second.
+// The new flow's rate is set synchronously but its onRate callback is not
+// invoked for this initial allocation (callers read Rate after joining);
+// it fires on every later change.
+func (l *Link) Join(demand float64, onRate func(float64)) *Flow {
+	if demand <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive demand %v", demand))
+	}
+	f := &Flow{link: l, demand: demand, onRate: onRate}
+	l.flows = append(l.flows, f)
+	l.recomputeExcept(f)
+	return f
+}
+
+// Rate returns the flow's current achieved rate in bytes per second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Demand returns the flow's demanded rate.
+func (f *Flow) Demand() float64 { return f.demand }
+
+// SetDemand changes the demanded rate and recomputes shares.
+func (f *Flow) SetDemand(d float64) {
+	if f.left {
+		return
+	}
+	if d <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive demand %v", d))
+	}
+	f.demand = d
+	f.link.recompute()
+}
+
+// Leave removes the flow from the link. Idempotent.
+func (f *Flow) Leave() {
+	if f.left {
+		return
+	}
+	f.left = true
+	l := f.link
+	for i, x := range l.flows {
+		if x == f {
+			l.flows = append(l.flows[:i], l.flows[i+1:]...)
+			break
+		}
+	}
+	f.rate = 0
+	l.recompute()
+}
+
+// recompute performs max-min fair allocation of the unreserved capacity
+// over the best-effort flows and notifies flows whose rate changed.
+func (l *Link) recompute() { l.recomputeExcept(nil) }
+
+// recomputeExcept reallocates rates, skipping the onRate notification for
+// quiet (a freshly joined flow whose owner is still mid-construction).
+func (l *Link) recomputeExcept(quiet *Flow) {
+	n := len(l.flows)
+	if n == 0 {
+		return
+	}
+	avail := l.Available()
+	if avail < 0 {
+		avail = 0
+	}
+	// Waterfill in ascending demand order.
+	order := make([]*Flow, n)
+	copy(order, l.flows)
+	sort.Slice(order, func(i, j int) bool { return order[i].demand < order[j].demand })
+	remaining := avail
+	for i, f := range order {
+		share := remaining / float64(n-i)
+		rate := f.demand
+		if rate > share {
+			rate = share
+		}
+		remaining -= rate
+		if rate != f.rate {
+			f.rate = rate
+			if f.onRate != nil && f != quiet {
+				f.onRate(rate)
+			}
+		}
+	}
+}
+
+// NumFlows returns the number of active best-effort flows.
+func (l *Link) NumFlows() int { return len(l.flows) }

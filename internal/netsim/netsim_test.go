@@ -1,0 +1,233 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"quasaq/internal/simtime"
+)
+
+func newLink(capacity float64) (*simtime.Simulator, *Link) {
+	sim := simtime.NewSimulator()
+	return sim, NewLink(sim, "srv0-out", capacity)
+}
+
+func TestReserveAndRelease(t *testing.T) {
+	_, l := newLink(3200e3) // the paper's 3200 KB/s outbound link
+	r1, err := l.Reserve(2000e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Available() != 1200e3 {
+		t.Fatalf("available = %v", l.Available())
+	}
+	if _, err := l.Reserve(1500e3); !errors.Is(err, ErrInsufficientBandwidth) {
+		t.Fatalf("over-reserve err = %v", err)
+	}
+	r2, err := l.Reserve(1200e3)
+	if err != nil {
+		t.Fatalf("exact-fit reservation rejected: %v", err)
+	}
+	r1.Release()
+	r1.Release() // idempotent
+	if l.Reserved() != 1200e3 {
+		t.Fatalf("reserved after release = %v", l.Reserved())
+	}
+	r2.Release()
+	if l.PeakReserved() != 3200e3 {
+		t.Fatalf("peak = %v, want 3200e3", l.PeakReserved())
+	}
+}
+
+func TestReserveRejectsNonPositive(t *testing.T) {
+	_, l := newLink(1000)
+	if _, err := l.Reserve(0); err == nil {
+		t.Fatal("zero reservation accepted")
+	}
+	if _, err := l.Reserve(-5); err == nil {
+		t.Fatal("negative reservation accepted")
+	}
+}
+
+func TestMaxMinFairSharing(t *testing.T) {
+	_, l := newLink(900)
+	// Demands 100, 400, 800 over capacity 900: max-min gives 100, 400, 400.
+	f1 := l.Join(100, nil)
+	f2 := l.Join(400, nil)
+	f3 := l.Join(800, nil)
+	if f1.Rate() != 100 {
+		t.Fatalf("f1 = %v, want 100 (fully satisfied)", f1.Rate())
+	}
+	if f2.Rate() != 400 {
+		t.Fatalf("f2 = %v, want 400", f2.Rate())
+	}
+	if f3.Rate() != 400 {
+		t.Fatalf("f3 = %v, want 400 (capped at fair share)", f3.Rate())
+	}
+}
+
+func TestFairSharingConservesCapacity(t *testing.T) {
+	_, l := newLink(1000)
+	var flows []*Flow
+	for i := 0; i < 7; i++ {
+		flows = append(flows, l.Join(float64(100+i*150), nil))
+	}
+	var sum float64
+	for _, f := range flows {
+		sum += f.Rate()
+	}
+	if sum > 1000+1e-6 {
+		t.Fatalf("allocated %v > capacity", sum)
+	}
+	if sum < 999 {
+		t.Fatalf("allocated only %v of a saturated link", sum)
+	}
+}
+
+func TestReservationSqueezesBestEffort(t *testing.T) {
+	_, l := newLink(1000)
+	f := l.Join(2000, nil)
+	if f.Rate() != 1000 {
+		t.Fatalf("lone flow rate = %v", f.Rate())
+	}
+	r, _ := l.Reserve(600)
+	if f.Rate() != 400 {
+		t.Fatalf("after reservation, flow rate = %v, want 400", f.Rate())
+	}
+	r.Release()
+	if f.Rate() != 1000 {
+		t.Fatalf("after release, flow rate = %v, want 1000", f.Rate())
+	}
+}
+
+func TestFlowLeaveRedistributes(t *testing.T) {
+	_, l := newLink(600)
+	f1 := l.Join(600, nil)
+	f2 := l.Join(600, nil)
+	if f1.Rate() != 300 || f2.Rate() != 300 {
+		t.Fatalf("equal split broken: %v %v", f1.Rate(), f2.Rate())
+	}
+	f1.Leave()
+	f1.Leave() // idempotent
+	if f2.Rate() != 600 {
+		t.Fatalf("survivor rate = %v, want 600", f2.Rate())
+	}
+	if l.NumFlows() != 1 {
+		t.Fatalf("flows = %d", l.NumFlows())
+	}
+}
+
+func TestSetDemand(t *testing.T) {
+	_, l := newLink(1000)
+	f1 := l.Join(800, nil)
+	f2 := l.Join(800, nil)
+	f1.SetDemand(200)
+	if f1.Rate() != 200 || f2.Rate() != 800 {
+		t.Fatalf("rates after SetDemand: %v %v", f1.Rate(), f2.Rate())
+	}
+}
+
+func TestOnRateCallback(t *testing.T) {
+	_, l := newLink(1000)
+	var got []float64
+	f1 := l.Join(1000, func(r float64) { got = append(got, r) })
+	_ = l.Join(1000, nil)
+	f1.Leave()
+	// The initial allocation is silent; the second join's halving (500) is
+	// the first notification.
+	if len(got) != 1 || got[0] != 500 {
+		t.Fatalf("rate callbacks = %v", got)
+	}
+}
+
+func TestTransferSimple(t *testing.T) {
+	sim, l := newLink(1000)
+	var done simtime.Time
+	StartTransfer(sim, l, 5000, 1000, func(at simtime.Time) { done = at })
+	sim.Run()
+	if done != 5*time.Second {
+		t.Fatalf("transfer completed at %v, want 5s", done)
+	}
+	if l.NumFlows() != 0 {
+		t.Fatal("flow not removed after completion")
+	}
+}
+
+func TestTransferAdaptsToContention(t *testing.T) {
+	sim, l := newLink(1000)
+	var done simtime.Time
+	StartTransfer(sim, l, 10000, 1000, func(at simtime.Time) { done = at })
+	// At t=5s a competing flow joins for 5 s, halving the rate.
+	sim.Schedule(5*time.Second, func() {
+		f := l.Join(1000, nil)
+		sim.Schedule(5*time.Second, f.Leave)
+	})
+	sim.Run()
+	// 5 s at 1000 B/s (5000 B) + 5 s at 500 B/s while contended (2500 B)
+	// + the last 2500 B at 1000 B/s once the competitor leaves = 12.5 s.
+	if done != 12500*time.Millisecond {
+		t.Fatalf("adaptive transfer completed at %v, want 12.5s", done)
+	}
+}
+
+func TestTransferRemaining(t *testing.T) {
+	sim, l := newLink(1000)
+	tr := StartTransfer(sim, l, 10000, 1000, nil)
+	sim.RunUntil(3 * time.Second)
+	if got := tr.Remaining(); math.Abs(float64(got-7000)) > 1 {
+		t.Fatalf("remaining = %d, want 7000", got)
+	}
+	sim.Run()
+	if tr.Remaining() != 0 {
+		t.Fatalf("remaining after completion = %d", tr.Remaining())
+	}
+}
+
+func TestTransferCancel(t *testing.T) {
+	sim, l := newLink(1000)
+	fired := false
+	tr := StartTransfer(sim, l, 10000, 1000, func(simtime.Time) { fired = true })
+	sim.Schedule(time.Second, tr.Cancel)
+	sim.Run()
+	if fired {
+		t.Fatal("done fired after cancel")
+	}
+	if l.NumFlows() != 0 {
+		t.Fatal("cancelled transfer left its flow on the link")
+	}
+}
+
+func TestTransferStarvationRecovers(t *testing.T) {
+	sim, l := newLink(1000)
+	// Reserve the whole link, starving the transfer, then release.
+	r, _ := l.Reserve(1000)
+	var done simtime.Time
+	StartTransfer(sim, l, 1000, 1000, func(at simtime.Time) { done = at })
+	sim.Schedule(10*time.Second, r.Release)
+	sim.Run()
+	if done != 11*time.Second {
+		t.Fatalf("starved transfer completed at %v, want 11s", done)
+	}
+}
+
+func TestJoinPanicsOnBadDemand(t *testing.T) {
+	_, l := newLink(1000)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero demand accepted")
+		}
+	}()
+	l.Join(0, nil)
+}
+
+func TestNewLinkPanicsOnBadCapacity(t *testing.T) {
+	sim := simtime.NewSimulator()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity accepted")
+		}
+	}()
+	NewLink(sim, "bad", 0)
+}

@@ -1,0 +1,35 @@
+package netsim
+
+import (
+	"quasaq/internal/simtime"
+)
+
+// Path models the network path from a server to a client playback host:
+// base propagation/queueing delay, jitter, and random loss. The paper's
+// clients were "generally 2-3 hops away from the servers" on campus
+// Ethernets; DefaultCampusPath matches that regime. Server-side results
+// (Figure 5) are path-independent; client-side traces add the path's
+// delay distribution on top.
+type Path struct {
+	Delay  simtime.Time // base one-way delay
+	Jitter simtime.Time // mean of the exponential jitter component
+	Loss   float64      // per-frame loss probability
+}
+
+// DefaultCampusPath returns a 2-3 hop campus LAN path.
+func DefaultCampusPath() Path {
+	return Path{Delay: 2 * 1e6, Jitter: 1e6, Loss: 0.001} // 2 ms + ~1 ms, 0.1%
+}
+
+// Sample draws one frame's fate on the path: its one-way delay and whether
+// it is lost.
+func (p Path) Sample(rng *simtime.Rand) (delay simtime.Time, lost bool) {
+	if p.Loss > 0 && rng.Float64() < p.Loss {
+		return 0, true
+	}
+	delay = p.Delay
+	if p.Jitter > 0 {
+		delay += rng.ExpDur(p.Jitter)
+	}
+	return delay, false
+}

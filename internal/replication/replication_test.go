@@ -1,0 +1,140 @@
+package replication
+
+import (
+	"testing"
+
+	"quasaq/internal/media"
+	"quasaq/internal/metadata"
+	"quasaq/internal/qos"
+	"quasaq/internal/storage"
+)
+
+func sites(n int, quota int64) []Site {
+	out := make([]Site, n)
+	for i := range out {
+		out[i] = Site{Name: string(rune('A' + i)), Blobs: storage.NewBlobStore(quota)}
+	}
+	return out
+}
+
+func TestReplicateFullLadder(t *testing.T) {
+	videos := media.StandardCorpus(42)
+	ss := sites(3, 0)
+	dir := metadata.NewDirectory()
+	total, err := Replicate(videos, ss, dir, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 {
+		t.Fatal("no bytes stored")
+	}
+	// Paper setup: each server holds all copies of all videos.
+	for _, s := range ss {
+		if s.Blobs.Count() != len(videos)*4 {
+			t.Fatalf("site %s has %d blobs, want %d", s.Name, s.Blobs.Count(), len(videos)*4)
+		}
+	}
+	reps := dir.Lookup("A", videos[0].ID)
+	if len(reps) != 12 { // 4 tiers x 3 sites
+		t.Fatalf("replicas of v001 = %d, want 12", len(reps))
+	}
+	// Every replica carries a sampled profile.
+	for _, r := range reps {
+		if r.Profile[qos.ResNetBandwidth] <= 0 || r.Profile[qos.ResCPU] <= 0 {
+			t.Fatalf("replica %s has empty profile %v", r.ID(), r.Profile)
+		}
+		if r.Profile[qos.ResNetBandwidth] != r.Variant.Bitrate {
+			t.Fatalf("profile net != bitrate for %s", r.ID())
+		}
+	}
+}
+
+func TestReplicateQualityLadderDistinct(t *testing.T) {
+	videos := media.StandardCorpus(42)[:1]
+	ss := sites(1, 0)
+	dir := metadata.NewDirectory()
+	if _, err := Replicate(videos, ss, dir, DefaultPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	reps := dir.Lookup("A", videos[0].ID)
+	if len(reps) != 4 {
+		t.Fatalf("replicas = %d", len(reps))
+	}
+	seen := map[string]bool{}
+	for _, r := range reps {
+		key := r.Variant.Quality.String()
+		if seen[key] {
+			t.Fatalf("duplicate quality tier %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestSingleCopyPolicy(t *testing.T) {
+	videos := media.StandardCorpus(42)
+	ss := sites(3, 0)
+	dir := metadata.NewDirectory()
+	if _, err := Replicate(videos, ss, dir, SingleCopyPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	totalBlobs := 0
+	for _, s := range ss {
+		totalBlobs += s.Blobs.Count()
+	}
+	if totalBlobs != len(videos) {
+		t.Fatalf("single-copy stored %d blobs, want %d", totalBlobs, len(videos))
+	}
+	// Homes are round-robin, so each site gets 5 of the 15.
+	for _, s := range ss {
+		if s.Blobs.Count() != 5 {
+			t.Fatalf("site %s holds %d originals, want 5", s.Name, s.Blobs.Count())
+		}
+	}
+}
+
+func TestReplicateQuotaExceeded(t *testing.T) {
+	videos := media.StandardCorpus(42)
+	ss := sites(3, 1<<20) // 1 MB per site cannot hold the corpus
+	dir := metadata.NewDirectory()
+	if _, err := Replicate(videos, ss, dir, DefaultPolicy()); err == nil {
+		t.Fatal("quota overflow not reported")
+	}
+}
+
+func TestReplicateValidation(t *testing.T) {
+	videos := media.StandardCorpus(42)
+	dir := metadata.NewDirectory()
+	if _, err := Replicate(videos, nil, dir, DefaultPolicy()); err == nil {
+		t.Fatal("no sites accepted")
+	}
+	if _, err := Replicate(videos, sites(1, 0), dir, Policy{}); err == nil {
+		t.Fatal("empty tier list accepted")
+	}
+}
+
+func TestSampleProfileScalesWithQuality(t *testing.T) {
+	v := media.StandardCorpus(42)[0]
+	hi := SampleProfile(v, media.NewVariant(media.LadderQuality(media.LinkLAN, v.FrameRate)))
+	lo := SampleProfile(v, media.NewVariant(media.LadderQuality(media.LinkModem, v.FrameRate)))
+	for _, k := range []qos.ResourceKind{qos.ResCPU, qos.ResNetBandwidth, qos.ResDiskBandwidth, qos.ResMemory} {
+		if hi[k] <= lo[k] {
+			t.Fatalf("axis %v not monotone: hi=%v lo=%v", k, hi[k], lo[k])
+		}
+	}
+}
+
+func TestReplicateIdempotentDirectoryReuse(t *testing.T) {
+	// Re-replicating more videos into an existing directory reuses stores.
+	videos := media.StandardCorpus(42)
+	ss := sites(2, 0)
+	dir := metadata.NewDirectory()
+	if _, err := Replicate(videos[:5], ss, dir, DefaultPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replicate(videos[5:], ss, dir, DefaultPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	if got := dir.Lookup("A", videos[10].ID); len(got) != 8 {
+		t.Fatalf("second batch replicas = %d, want 8", len(got))
+	}
+}

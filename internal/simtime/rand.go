@@ -1,0 +1,95 @@
+package simtime
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand is a deterministic random source used across the simulation. It wraps
+// math/rand with the distributions the workload and media models need, so
+// that every stochastic choice in an experiment flows from one seed.
+type Rand struct {
+	r *rand.Rand
+}
+
+// NewRand returns a deterministic source for the given seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent deterministic stream, so subsystems can draw
+// without perturbing each other's sequences.
+func (r *Rand) Fork() *Rand {
+	return NewRand(r.r.Int63())
+}
+
+// Float64 returns a uniform sample in [0,1).
+func (r *Rand) Float64() float64 { return r.r.Float64() }
+
+// Intn returns a uniform sample in [0,n).
+func (r *Rand) Intn(n int) int { return r.r.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (r *Rand) Int63() int64 { return r.r.Int63() }
+
+// Uniform returns a uniform sample in [lo,hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.r.Float64()
+}
+
+// Exp returns an exponential sample with the given mean (not rate).
+func (r *Rand) Exp(mean float64) float64 {
+	return r.r.ExpFloat64() * mean
+}
+
+// ExpDur returns an exponential virtual-time sample with the given mean.
+func (r *Rand) ExpDur(mean Time) Time {
+	return Time(r.r.ExpFloat64() * float64(mean))
+}
+
+// Normal returns a Gaussian sample.
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.r.NormFloat64()
+}
+
+// LogNormal returns exp(N(mu, sigma)), used for VBR frame-size dispersion.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Perm returns a random permutation of [0,n).
+func (r *Rand) Perm(n int) []int { return r.r.Perm(n) }
+
+// Pick returns a uniformly chosen index weighted by w. The weights must be
+// non-negative and not all zero.
+func (r *Rand) Pick(w []float64) int {
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	if sum <= 0 {
+		panic("simtime: Pick with non-positive total weight")
+	}
+	u := r.r.Float64() * sum
+	for i, x := range w {
+		u -= x
+		if u < 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// Zipf returns a sampler over [0,n) with skew s >= 1 (s=1 ~ classic Zipf).
+// Video access popularity in the extended workloads uses this; the paper's
+// own generator is uniform, which callers get with s=0 handled by Intn.
+func (r *Rand) Zipf(s float64, n int) func() int {
+	if n <= 0 {
+		panic("simtime: Zipf over empty domain")
+	}
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return func() int { return r.Pick(weights) }
+}

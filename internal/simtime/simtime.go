@@ -1,0 +1,228 @@
+// Package simtime provides the discrete-event simulation engine on which
+// every QuaSAQ substrate runs.
+//
+// The paper's evaluation was carried out on three physical Solaris servers;
+// this reproduction replaces wall-clock execution with a deterministic
+// virtual clock so that thousand-second streaming experiments (Figures 5-7)
+// complete in milliseconds and are exactly repeatable under a fixed seed.
+//
+// A Simulator owns a virtual clock and a priority queue of events. Events
+// scheduled for the same instant fire in scheduling order (FIFO), which keeps
+// causally-ordered handlers deterministic.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp measured from the simulation epoch (t = 0).
+// It reuses time.Duration so that callers can write 500*time.Millisecond.
+type Time = time.Duration
+
+// Event is a scheduled callback. It is returned by the Schedule methods so
+// that callers may cancel it before it fires.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 once removed
+	fired  bool
+	cancel bool
+}
+
+// At reports the virtual time the event is (or was) due to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Fired reports whether the event's callback has run.
+func (e *Event) Fired() bool { return e.fired }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator is a single-threaded discrete-event executor. It is not safe for
+// concurrent use; QuaSAQ models concurrency with events, not goroutines, so
+// that runs are reproducible.
+type Simulator struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	nEvent uint64 // total events executed (for overhead accounting)
+}
+
+// NewSimulator returns a simulator whose clock reads zero.
+func NewSimulator() *Simulator {
+	s := &Simulator{}
+	heap.Init(&s.queue)
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Executed returns the number of events executed so far.
+func (s *Simulator) Executed() uint64 { return s.nEvent }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been reaped).
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// Schedule runs fn after delay. A negative delay is an error in the caller;
+// it panics because it would silently reorder causality.
+func (s *Simulator) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("simtime: negative delay %v", delay))
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time at, which must not precede the
+// current clock.
+func (s *Simulator) ScheduleAt(at Time, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("simtime: schedule at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("simtime: nil event func")
+	}
+	s.seq++
+	e := &Event{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Cancel removes the event from the queue if it has not fired. It is safe to
+// cancel an event twice or to cancel one that already fired (a no-op).
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.fired || e.cancel {
+		return
+	}
+	e.cancel = true
+	if e.index >= 0 {
+		heap.Remove(&s.queue, e.index)
+	}
+}
+
+// Step executes the single earliest event, advancing the clock to its
+// timestamp. It reports false when no events remain.
+func (s *Simulator) Step() bool {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.at
+		e.fired = true
+		s.nEvent++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances the
+// clock to the deadline. Events scheduled beyond the deadline stay queued.
+func (s *Simulator) RunUntil(deadline Time) {
+	for s.queue.Len() > 0 {
+		e := s.queue[0]
+		if e.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Every schedules fn at now+interval, then repeatedly every interval, until
+// fn returns false. It returns a handle to the next pending occurrence's
+// canceller.
+func (s *Simulator) Every(interval Time, fn func() bool) *Ticker {
+	if interval <= 0 {
+		panic(fmt.Sprintf("simtime: non-positive ticker interval %v", interval))
+	}
+	t := &Ticker{sim: s, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker is a repeating event created by Every.
+type Ticker struct {
+	sim      *Simulator
+	interval Time
+	fn       func() bool
+	next     *Event
+	stopped  bool
+}
+
+func (t *Ticker) arm() {
+	t.next = t.sim.Schedule(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		if t.fn() {
+			t.arm()
+		} else {
+			t.stopped = true
+		}
+	})
+}
+
+// Stop cancels any pending occurrence. The ticker never fires again.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.sim.Cancel(t.next)
+}
+
+// Seconds converts a float seconds count to virtual Time, saturating rather
+// than overflowing for absurd inputs.
+func Seconds(s float64) Time {
+	if math.IsInf(s, 1) || s > math.MaxInt64/float64(time.Second) {
+		return math.MaxInt64
+	}
+	return Time(s * float64(time.Second))
+}
+
+// ToSeconds converts a virtual Time to float seconds.
+func ToSeconds(t Time) float64 { return float64(t) / float64(time.Second) }

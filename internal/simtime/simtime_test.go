@@ -1,0 +1,239 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	s.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	s.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	s.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewSimulator()
+	fired := false
+	e := s.Schedule(time.Second, func() { fired = true })
+	s.Cancel(e)
+	s.Cancel(e) // double cancel is a no-op
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	s := NewSimulator()
+	e := s.Schedule(time.Millisecond, func() {})
+	s.Run()
+	s.Cancel(e)
+	if e.Cancelled() {
+		t.Fatal("fired event reported cancelled")
+	}
+	if !e.Fired() {
+		t.Fatal("Fired() = false after run")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSimulator()
+	var fired []int
+	s.Schedule(time.Second, func() { fired = append(fired, 1) })
+	s.Schedule(3*time.Second, func() { fired = append(fired, 2) })
+	s.RunUntil(2 * time.Second)
+	if len(fired) != 1 {
+		t.Fatalf("fired = %v, want only first event", fired)
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("clock = %v, want 2s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	s.RunUntil(5 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want both events", fired)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	s := NewSimulator()
+	var times []Time
+	s.Schedule(time.Second, func() {
+		times = append(times, s.Now())
+		s.Schedule(time.Second, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if len(times) != 2 || times[1] != 2*time.Second {
+		t.Fatalf("nested scheduling broken: %v", times)
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	s := NewSimulator()
+	s.Schedule(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleAt in the past did not panic")
+		}
+	}()
+	s.ScheduleAt(500*time.Millisecond, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := NewSimulator()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	s.Schedule(-time.Second, func() {})
+}
+
+func TestTicker(t *testing.T) {
+	s := NewSimulator()
+	n := 0
+	s.Every(100*time.Millisecond, func() bool {
+		n++
+		return n < 5
+	})
+	s.Run()
+	if n != 5 {
+		t.Fatalf("ticker fired %d times, want 5", n)
+	}
+	if s.Now() != 500*time.Millisecond {
+		t.Fatalf("clock = %v, want 500ms", s.Now())
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	s := NewSimulator()
+	n := 0
+	tk := s.Every(100*time.Millisecond, func() bool { n++; return true })
+	s.Schedule(250*time.Millisecond, tk.Stop)
+	s.RunUntil(time.Second)
+	if n != 2 {
+		t.Fatalf("stopped ticker fired %d times, want 2", n)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []float64 {
+		r := NewRand(42)
+		out := make([]float64, 20)
+		for i := range out {
+			out[i] = r.Exp(1.0)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rand stream not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRand(7)
+	f := r.Fork()
+	// Drawing from the fork must not perturb the parent relative to a
+	// parent that forked but never used the child.
+	r2 := NewRand(7)
+	f2 := r2.Fork()
+	_ = f2
+	for i := 0; i < 100; i++ {
+		f.Float64()
+	}
+	for i := 0; i < 10; i++ {
+		if r.Float64() != r2.Float64() {
+			t.Fatal("fork draws perturbed parent stream")
+		}
+	}
+}
+
+func TestPickDistribution(t *testing.T) {
+	r := NewRand(1)
+	counts := [3]int{}
+	w := []float64{1, 2, 7}
+	for i := 0; i < 10000; i++ {
+		counts[r.Pick(w)]++
+	}
+	if counts[2] < counts[1] || counts[1] < counts[0] {
+		t.Fatalf("weighted pick ordering wrong: %v", counts)
+	}
+	if counts[2] < 6000 || counts[2] > 8000 {
+		t.Fatalf("heavy weight picked %d/10000, want ~7000", counts[2])
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRand(3)
+	z := r.Zipf(1.0, 10)
+	counts := make([]int, 10)
+	for i := 0; i < 20000; i++ {
+		counts[z()]++
+	}
+	if counts[0] <= counts[5] {
+		t.Fatalf("zipf not skewed: %v", counts)
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	if err := quick.Check(func(ms uint16) bool {
+		s := float64(ms) / 1000
+		got := ToSeconds(Seconds(s))
+		return got > s-1e-6 && got < s+1e-6
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecondsSaturates(t *testing.T) {
+	if Seconds(1e300) <= 0 {
+		t.Fatal("Seconds overflowed instead of saturating")
+	}
+}
+
+func TestExpDurMean(t *testing.T) {
+	r := NewRand(11)
+	var sum Time
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.ExpDur(time.Second)
+	}
+	mean := sum / n
+	if mean < 950*time.Millisecond || mean > 1050*time.Millisecond {
+		t.Fatalf("ExpDur mean = %v, want ~1s", mean)
+	}
+}

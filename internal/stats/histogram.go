@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram buckets scalar observations into fixed-width bins; the
+// qsqbench output uses it to show delay distributions alongside the mean
+// and standard deviation (a long right tail is Figure 5c's signature).
+type Histogram struct {
+	lo, width float64
+	counts    []int
+	under     int
+	over      int
+	n         int
+}
+
+// NewHistogram covers [lo, hi) with the given number of equal bins.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{lo: lo, width: (hi - lo) / float64(bins), counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	if x < h.lo {
+		h.under++
+		return
+	}
+	i := int((x - h.lo) / h.width)
+	if i >= len(h.counts) {
+		h.over++
+		return
+	}
+	h.counts[i]++
+}
+
+// N returns the total observations (including out-of-range).
+func (h *Histogram) N() int { return h.n }
+
+// Bin returns the count of bin i.
+func (h *Histogram) Bin(i int) int { return h.counts[i] }
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// OutOfRange returns observations below and above the covered range.
+func (h *Histogram) OutOfRange() (under, over int) { return h.under, h.over }
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation within
+// bins; out-of-range mass sits at the boundaries.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.n)
+	acc := float64(h.under)
+	if target <= acc {
+		return h.lo
+	}
+	for i, c := range h.counts {
+		next := acc + float64(c)
+		if target <= next && c > 0 {
+			frac := (target - acc) / float64(c)
+			return h.lo + (float64(i)+frac)*h.width
+		}
+		acc = next
+	}
+	return h.lo + float64(len(h.counts))*h.width
+}
+
+// String renders a compact bar chart, one row per bin with non-zero count.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxC := 1
+	for _, c := range h.counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		bar := int(math.Round(40 * float64(c) / float64(maxC)))
+		fmt.Fprintf(&b, "[%8.1f, %8.1f) %6d %s\n",
+			h.lo+float64(i)*h.width, h.lo+float64(i+1)*h.width, c, strings.Repeat("#", bar))
+	}
+	if h.under > 0 {
+		fmt.Fprintf(&b, "(under %8.1f) %6d\n", h.lo, h.under)
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "(over %9.1f) %6d\n", h.lo+float64(len(h.counts))*h.width, h.over)
+	}
+	return b.String()
+}

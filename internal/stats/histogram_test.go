@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for _, x := range []float64{0, 5, 9.99, 10, 55, 99.99, -3, 100, 250} {
+		h.Add(x)
+	}
+	if h.N() != 9 {
+		t.Fatalf("n = %d", h.N())
+	}
+	if h.Bin(0) != 3 { // 0, 5, 9.99
+		t.Fatalf("bin0 = %d", h.Bin(0))
+	}
+	if h.Bin(1) != 1 || h.Bin(5) != 1 || h.Bin(9) != 1 {
+		t.Fatalf("bins: %d %d %d", h.Bin(1), h.Bin(5), h.Bin(9))
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Fatalf("under/over = %d/%d", under, over)
+	}
+	if h.Bins() != 10 {
+		t.Fatalf("bins = %d", h.Bins())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50) > 2 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := h.Quantile(0.99); math.Abs(q-99) > 2 {
+		t.Fatalf("p99 = %v", q)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("p0 = %v", q)
+	}
+	empty := NewHistogram(0, 1, 2)
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 10, 2)
+	h.Add(1)
+	h.Add(1)
+	h.Add(7)
+	h.Add(-1)
+	h.Add(11)
+	s := h.String()
+	for _, want := range []string{"#", "under", "over"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render %q missing %q", s, want)
+		}
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad bounds accepted")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}

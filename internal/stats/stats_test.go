@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryMoments(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v, want 5", s.Mean())
+	}
+	// population variance of this classic set is 4; sample variance 32/7.
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev()-want) > 1e-12 {
+		t.Fatalf("sd = %v, want %v", s.StdDev(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty summary should be zero-valued")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.StdDev() != 0 {
+		t.Fatalf("single-sample summary wrong: %v", s.String())
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	if err := quick.Check(func(a, b []float64) bool {
+		var whole, left, right Summary
+		for _, x := range a {
+			clip := math.Mod(x, 1000)
+			if math.IsNaN(clip) {
+				clip = 0
+			}
+			whole.Add(clip)
+			left.Add(clip)
+		}
+		for _, x := range b {
+			clip := math.Mod(x, 1000)
+			if math.IsNaN(clip) {
+				clip = 0
+			}
+			whole.Add(clip)
+			right.Add(clip)
+		}
+		left.Merge(&right)
+		if left.N() != whole.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		return math.Abs(left.Mean()-whole.Mean()) < 1e-6 &&
+			math.Abs(left.Var()-whole.Var()) < 1e-4
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 100}, {50, 50.5}, {25, 25.75}, {99, 99.01},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 {
+		t.Fatal("empty sample percentile should be 0")
+	}
+}
+
+func TestSampleSummary(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(3)
+	sum := s.Summary()
+	if sum.Mean() != 2 || sum.N() != 2 {
+		t.Fatalf("sample summary wrong: %v", sum)
+	}
+}
+
+func TestTimeSeriesBuckets(t *testing.T) {
+	ts := NewTimeSeries(10 * time.Second)
+	ts.Observe(1*time.Second, 4)
+	ts.Observe(9*time.Second, 6)
+	ts.Observe(15*time.Second, 10)
+	if ts.Len() != 2 {
+		t.Fatalf("len = %d, want 2", ts.Len())
+	}
+	if ts.Mean(0) != 5 {
+		t.Fatalf("bucket 0 mean = %v, want 5", ts.Mean(0))
+	}
+	if ts.Sum(1) != 10 || ts.Count(1) != 1 {
+		t.Fatalf("bucket 1 sum/count = %v/%d", ts.Sum(1), ts.Count(1))
+	}
+	if ts.Mean(7) != 0 || ts.Sum(7) != 0 || ts.Count(7) != 0 {
+		t.Fatal("out-of-range bucket should read zero")
+	}
+}
+
+func TestTimeSeriesCumulative(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	ts.Observe(0, 1)
+	ts.Observe(1500*time.Millisecond, 2)
+	ts.Observe(2500*time.Millisecond, 3)
+	got := ts.CumulativeSums()
+	want := []float64{1, 3, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cumulative = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTimeSeriesMeans(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	ts.Observe(0, 2)
+	ts.Observe(0, 4)
+	m := ts.Means()
+	if len(m) != 1 || m[0] != 3 {
+		t.Fatalf("means = %v", m)
+	}
+}
+
+func TestNewTimeSeriesPanicsOnZeroBucket(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bucket did not panic")
+		}
+	}()
+	NewTimeSeries(0)
+}
+
+func TestTraceSummaryAndPlot(t *testing.T) {
+	var tr Trace
+	for i := 0; i < 100; i++ {
+		tr.Add(time.Duration(i)*time.Millisecond, float64(i%10))
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if math.Abs(tr.Summary().Mean()-4.5) > 1e-9 {
+		t.Fatalf("trace mean = %v, want 4.5", tr.Summary().Mean())
+	}
+	plot := tr.ASCIIPlot(40, 5, 0)
+	if plot == "" {
+		t.Fatal("plot empty")
+	}
+	empty := (&Trace{}).ASCIIPlot(40, 5, 0)
+	if empty != "" {
+		t.Fatal("empty trace should render empty plot")
+	}
+}

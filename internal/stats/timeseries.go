@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"quasaq/internal/simtime"
+)
+
+// TimeSeries buckets scalar observations by virtual time, producing the
+// series plotted in Figures 6 and 7 (outstanding sessions, accomplished jobs
+// per minute, cumulative rejects).
+type TimeSeries struct {
+	bucket simtime.Time
+	sums   []float64
+	counts []int
+}
+
+// NewTimeSeries returns a series with the given bucket width.
+func NewTimeSeries(bucket simtime.Time) *TimeSeries {
+	if bucket <= 0 {
+		panic("stats: non-positive time-series bucket")
+	}
+	return &TimeSeries{bucket: bucket}
+}
+
+// Bucket returns the configured bucket width.
+func (ts *TimeSeries) Bucket() simtime.Time { return ts.bucket }
+
+func (ts *TimeSeries) grow(i int) {
+	for len(ts.sums) <= i {
+		ts.sums = append(ts.sums, 0)
+		ts.counts = append(ts.counts, 0)
+	}
+}
+
+// Observe records value x at virtual time t.
+func (ts *TimeSeries) Observe(t simtime.Time, x float64) {
+	i := int(t / ts.bucket)
+	ts.grow(i)
+	ts.sums[i] += x
+	ts.counts[i]++
+}
+
+// Len returns the number of buckets touched so far.
+func (ts *TimeSeries) Len() int { return len(ts.sums) }
+
+// Mean returns the mean observation in bucket i, or 0 if it is empty.
+func (ts *TimeSeries) Mean(i int) float64 {
+	if i >= len(ts.sums) || ts.counts[i] == 0 {
+		return 0
+	}
+	return ts.sums[i] / float64(ts.counts[i])
+}
+
+// Sum returns the sum of observations in bucket i.
+func (ts *TimeSeries) Sum(i int) float64 {
+	if i >= len(ts.sums) {
+		return 0
+	}
+	return ts.sums[i]
+}
+
+// Count returns the number of observations in bucket i.
+func (ts *TimeSeries) Count(i int) int {
+	if i >= len(ts.counts) {
+		return 0
+	}
+	return ts.counts[i]
+}
+
+// Means returns the per-bucket means as a slice.
+func (ts *TimeSeries) Means() []float64 {
+	out := make([]float64, len(ts.sums))
+	for i := range out {
+		out[i] = ts.Mean(i)
+	}
+	return out
+}
+
+// CumulativeSums returns the running total of per-bucket sums; Figure 7b's
+// cumulative reject counts use this.
+func (ts *TimeSeries) CumulativeSums() []float64 {
+	out := make([]float64, len(ts.sums))
+	var acc float64
+	for i, s := range ts.sums {
+		acc += s
+		out[i] = acc
+	}
+	return out
+}
+
+// Trace records (time, value) pairs in order; Figure 5's per-frame delay
+// plots use it directly.
+type Trace struct {
+	Times  []simtime.Time
+	Values []float64
+}
+
+// Add appends one point.
+func (tr *Trace) Add(t simtime.Time, v float64) {
+	tr.Times = append(tr.Times, t)
+	tr.Values = append(tr.Values, v)
+}
+
+// Len returns the number of points.
+func (tr *Trace) Len() int { return len(tr.Values) }
+
+// Summary computes moments over the trace values.
+func (tr *Trace) Summary() *Summary {
+	s := &Summary{}
+	for _, v := range tr.Values {
+		s.Add(v)
+	}
+	return s
+}
+
+// ASCIIPlot renders the trace as a crude fixed-height column chart, one
+// character column per downsampled point. It exists so that qsqbench output
+// is legible in a terminal without plotting tools.
+func (tr *Trace) ASCIIPlot(width, height int, yMax float64) string {
+	if tr.Len() == 0 || width <= 0 || height <= 0 {
+		return ""
+	}
+	cols := make([]float64, width)
+	per := (tr.Len() + width - 1) / width
+	for c := 0; c < width; c++ {
+		var m float64
+		lo, hi := c*per, (c+1)*per
+		if lo >= tr.Len() {
+			break
+		}
+		if hi > tr.Len() {
+			hi = tr.Len()
+		}
+		for _, v := range tr.Values[lo:hi] {
+			if v > m {
+				m = v
+			}
+		}
+		cols[c] = m
+	}
+	if yMax <= 0 {
+		for _, v := range cols {
+			if v > yMax {
+				yMax = v
+			}
+		}
+		if yMax == 0 {
+			yMax = 1
+		}
+	}
+	var b strings.Builder
+	for row := height; row >= 1; row-- {
+		thresh := yMax * float64(row) / float64(height)
+		fmt.Fprintf(&b, "%8.1f |", thresh)
+		for _, v := range cols {
+			if v >= thresh {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("         +" + strings.Repeat("-", width) + "\n")
+	return b.String()
+}

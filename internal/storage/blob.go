@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// BlobID identifies a stored media blob on one server.
+type BlobID uint32
+
+// ErrNoSuchBlob reports access to an unknown blob.
+var ErrNoSuchBlob = errors.New("storage: no such blob")
+
+// Blob is a stored media object: the physical bytes behind one replica.
+// Content is synthesized deterministically from the seed rather than
+// materialized — an 18-minute DVD-quality replica is ~500 MB, and only the
+// byte *stream* matters to the transport and encryption activities, never a
+// second read of the same region. ReadAt stays random-access and
+// reproducible, so the substitution is observationally equivalent for every
+// consumer in this system.
+type Blob struct {
+	ID   BlobID
+	Size int64
+	Seed uint64
+}
+
+// ReadAt fills p with the blob's deterministic content at off, satisfying
+// io.ReaderAt semantics.
+func (b *Blob) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("storage: negative blob offset %d", off)
+	}
+	if off >= b.Size {
+		return 0, io.EOF
+	}
+	n := len(p)
+	var err error
+	if int64(n) > b.Size-off {
+		n = int(b.Size - off)
+		err = io.EOF
+	}
+	// Content is generated in aligned 8-byte cells keyed by (seed, cell),
+	// so overlapping reads agree byte-for-byte.
+	var cell [8]byte
+	for i := 0; i < n; {
+		pos := off + int64(i)
+		cellIdx := uint64(pos / 8)
+		within := int(pos % 8)
+		binary.LittleEndian.PutUint64(cell[:], mix(b.Seed, cellIdx))
+		c := copy(p[i:n], cell[within:])
+		i += c
+	}
+	return n, err
+}
+
+func mix(seed, n uint64) uint64 {
+	x := seed ^ n*0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// BlobStore tracks the media blobs resident on one server's disk and their
+// total footprint — the "storage space" concern of the paper's replication
+// discussion (§2, item 1).
+type BlobStore struct {
+	mu    sync.Mutex
+	next  BlobID
+	blobs map[BlobID]*Blob
+	used  int64
+	quota int64 // 0 = unlimited
+}
+
+// ErrDiskFull reports that storing a blob would exceed the disk quota.
+var ErrDiskFull = errors.New("storage: disk quota exceeded")
+
+// NewBlobStore creates a blob store with the given byte quota (0 = no
+// limit).
+func NewBlobStore(quota int64) *BlobStore {
+	return &BlobStore{blobs: make(map[BlobID]*Blob), quota: quota}
+}
+
+// Create registers a blob of the given size with deterministic content
+// derived from seed.
+func (s *BlobStore) Create(size int64, seed uint64) (*Blob, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("storage: negative blob size %d", size)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.quota > 0 && s.used+size > s.quota {
+		return nil, ErrDiskFull
+	}
+	s.next++
+	b := &Blob{ID: s.next, Size: size, Seed: seed}
+	s.blobs[b.ID] = b
+	s.used += size
+	return b, nil
+}
+
+// Open returns the blob with the given id.
+func (s *BlobStore) Open(id BlobID) (*Blob, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blobs[id]
+	if !ok {
+		return nil, ErrNoSuchBlob
+	}
+	return b, nil
+}
+
+// Delete removes a blob and reclaims its space.
+func (s *BlobStore) Delete(id BlobID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blobs[id]
+	if !ok {
+		return ErrNoSuchBlob
+	}
+	delete(s.blobs, id)
+	s.used -= b.Size
+	return nil
+}
+
+// Used returns the total bytes of stored blobs.
+func (s *BlobStore) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Count returns the number of stored blobs.
+func (s *BlobStore) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blobs)
+}

@@ -1,0 +1,94 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Volume snapshots: a volume's full page image can be written to and
+// restored from a stream, giving the storage manager a persistence story
+// (Shore volumes lived on raw disks; here a snapshot file plays that
+// role). Callers must Flush any buffer pool over the volume first so dirty
+// pages reach the page store.
+
+const snapMagic = "QSQV"
+const snapVersion = 1
+
+// WriteTo serializes the volume: header, free list, then raw page images.
+// It implements io.WriterTo.
+func (v *Volume) WriteTo(w io.Writer) (int64, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	hdr := make([]byte, 0, 16)
+	hdr = append(hdr, snapMagic...)
+	hdr = append(hdr, snapVersion)
+	hdr = binary.LittleEndian.AppendUint16(hdr, v.id)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(v.pages)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(v.free)))
+	if err := count(bw.Write(hdr)); err != nil {
+		return n, err
+	}
+	for _, id := range v.free {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(id))
+		if err := count(bw.Write(b[:])); err != nil {
+			return n, err
+		}
+	}
+	for _, img := range v.pages {
+		if err := count(bw.Write(img)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadVolume reconstructs a volume from a snapshot stream.
+func ReadVolume(r io.Reader) (*Volume, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 15)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("storage: short snapshot header: %w", err)
+	}
+	if string(hdr[:4]) != snapMagic {
+		return nil, fmt.Errorf("storage: bad snapshot magic %q", hdr[:4])
+	}
+	if hdr[4] != snapVersion {
+		return nil, fmt.Errorf("storage: unsupported snapshot version %d", hdr[4])
+	}
+	v := NewVolume(binary.LittleEndian.Uint16(hdr[5:7]))
+	nPages := binary.LittleEndian.Uint32(hdr[7:11])
+	nFree := binary.LittleEndian.Uint32(hdr[11:15])
+	if nFree > nPages {
+		return nil, fmt.Errorf("storage: snapshot free list (%d) exceeds pages (%d)", nFree, nPages)
+	}
+	v.free = make([]PageID, nFree)
+	for i := range v.free {
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return nil, fmt.Errorf("storage: truncated free list: %w", err)
+		}
+		id := binary.LittleEndian.Uint32(b[:])
+		if id >= nPages {
+			return nil, fmt.Errorf("storage: free page %d out of range", id)
+		}
+		v.free[i] = PageID(id)
+	}
+	v.pages = make([][]byte, nPages)
+	for i := range v.pages {
+		img := make([]byte, PageSize)
+		if _, err := io.ReadFull(br, img); err != nil {
+			return nil, fmt.Errorf("storage: truncated page %d: %w", i, err)
+		}
+		v.pages[i] = img
+	}
+	return v, nil
+}

@@ -1,0 +1,413 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageInsertGet(t *testing.T) {
+	p := NewPage()
+	recs := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	var slots []int
+	for _, r := range recs {
+		s, err := p.Insert(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	for i, s := range slots {
+		got, err := p.Get(s)
+		if err != nil || !bytes.Equal(got, recs[i]) {
+			t.Fatalf("slot %d: got %q err %v", s, got, err)
+		}
+	}
+}
+
+func TestPageDeleteAndSlotReuse(t *testing.T) {
+	p := NewPage()
+	s0, _ := p.Insert([]byte("one"))
+	s1, _ := p.Insert([]byte("two"))
+	if err := p.Delete(s0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(s0); err != ErrNoSuchRecord {
+		t.Fatalf("get deleted = %v, want ErrNoSuchRecord", err)
+	}
+	if err := p.Delete(s0); err != ErrNoSuchRecord {
+		t.Fatal("double delete should fail")
+	}
+	// Survivor is untouched.
+	if got, _ := p.Get(s1); !bytes.Equal(got, []byte("two")) {
+		t.Fatalf("survivor corrupted: %q", got)
+	}
+	// Tombstoned slot is reused by the next insert.
+	s2, err := p.Insert([]byte("three"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s0 {
+		t.Fatalf("insert used slot %d, want reused %d", s2, s0)
+	}
+}
+
+func TestPageFull(t *testing.T) {
+	p := NewPage()
+	rec := make([]byte, 1000)
+	n := 0
+	for {
+		if _, err := p.Insert(rec); err == ErrPageFull {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 8 { // 8*1000 + 8*4 slot entries + 4 header < 8192; 9th cannot fit
+		t.Fatalf("fit %d 1000-byte records, want 8", n)
+	}
+}
+
+func TestPageRecordTooBig(t *testing.T) {
+	p := NewPage()
+	if _, err := p.Insert(make([]byte, MaxRecord+1)); err != ErrRecordTooBig {
+		t.Fatalf("err = %v, want ErrRecordTooBig", err)
+	}
+	if _, err := p.Insert(make([]byte, MaxRecord)); err != nil {
+		t.Fatalf("max-size record rejected: %v", err)
+	}
+}
+
+func TestPageCompactPreservesSlots(t *testing.T) {
+	p := NewPage()
+	s0, _ := p.Insert(bytes.Repeat([]byte("a"), 3000))
+	s1, _ := p.Insert(bytes.Repeat([]byte("b"), 3000))
+	if err := p.Delete(s0); err != nil {
+		t.Fatal(err)
+	}
+	// Without compaction a 3000-byte record cannot fit (free ptr at 6004).
+	p.Compact()
+	if got, _ := p.Get(s1); !bytes.Equal(got, bytes.Repeat([]byte("b"), 3000)) {
+		t.Fatal("compact corrupted survivor")
+	}
+	if _, err := p.Insert(bytes.Repeat([]byte("c"), 3000)); err != nil {
+		t.Fatalf("insert after compact failed: %v", err)
+	}
+}
+
+func TestPageRoundTripThroughImage(t *testing.T) {
+	p := NewPage()
+	s, _ := p.Insert([]byte("persisted"))
+	q, err := LoadPage(p.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := q.Get(s); !bytes.Equal(got, []byte("persisted")) {
+		t.Fatal("page image round trip lost data")
+	}
+	if _, err := LoadPage(make([]byte, 100)); err == nil {
+		t.Fatal("short image accepted")
+	}
+}
+
+func TestPagePropertyInsertGetMany(t *testing.T) {
+	if err := quick.Check(func(payloads [][]byte) bool {
+		p := NewPage()
+		want := map[int][]byte{}
+		for _, r := range payloads {
+			if len(r) > 512 {
+				r = r[:512]
+			}
+			s, err := p.Insert(r)
+			if err != nil {
+				break
+			}
+			want[s] = append([]byte(nil), r...)
+		}
+		for s, w := range want {
+			got, err := p.Get(s)
+			if err != nil || !bytes.Equal(got, w) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVolumeAllocFree(t *testing.T) {
+	v := NewVolume(1)
+	a := v.Alloc()
+	b := v.Alloc()
+	if a == b {
+		t.Fatal("duplicate page ids")
+	}
+	if err := v.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	c := v.Alloc()
+	if c != a {
+		t.Fatalf("freed page not reused: got %d want %d", c, a)
+	}
+	if err := v.Free(99); err != ErrNoSuchPage {
+		t.Fatal("freeing unallocated page should fail")
+	}
+	if _, err := v.ReadPage(99); err != ErrNoSuchPage {
+		t.Fatal("reading unallocated page should fail")
+	}
+}
+
+func TestBufferPoolHitsAndEviction(t *testing.T) {
+	v := NewVolume(1)
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		ids = append(ids, v.Alloc())
+	}
+	bp := NewBufferPool(v, 2)
+	for _, id := range ids[:2] {
+		if _, err := bp.Pin(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := bp.Unpin(id, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-pin first: hit.
+	if _, err := bp.Pin(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(ids[0], false)
+	hits, misses := bp.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 1/2", hits, misses)
+	}
+	// Fill beyond capacity: LRU (ids[1]) evicted.
+	if _, err := bp.Pin(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(ids[2], false)
+	if bp.Resident() != 2 {
+		t.Fatalf("resident = %d, want 2", bp.Resident())
+	}
+}
+
+func TestBufferPoolWritebackOnEviction(t *testing.T) {
+	v := NewVolume(1)
+	a, b := v.Alloc(), v.Alloc()
+	bp := NewBufferPool(v, 1)
+	page, err := bp.Pin(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, _ := page.Insert([]byte("dirty"))
+	bp.Unpin(a, true)
+	// Pinning b evicts a, which must write back.
+	if _, err := bp.Pin(b); err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(b, false)
+	fresh, err := v.ReadPage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fresh.Get(slot); !bytes.Equal(got, []byte("dirty")) {
+		t.Fatal("dirty page not written back on eviction")
+	}
+}
+
+func TestBufferPoolExhaustion(t *testing.T) {
+	v := NewVolume(1)
+	a, b := v.Alloc(), v.Alloc()
+	bp := NewBufferPool(v, 1)
+	if _, err := bp.Pin(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.Pin(b); err != ErrPoolExhausted {
+		t.Fatalf("err = %v, want ErrPoolExhausted", err)
+	}
+	if err := bp.Unpin(a, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.Unpin(a, false); err == nil {
+		t.Fatal("double unpin accepted")
+	}
+}
+
+func TestBufferPoolFlush(t *testing.T) {
+	v := NewVolume(1)
+	a := v.Alloc()
+	bp := NewBufferPool(v, 4)
+	page, _ := bp.Pin(a)
+	slot, _ := page.Insert([]byte("flushme"))
+	bp.Unpin(a, true)
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := v.ReadPage(a)
+	if got, _ := fresh.Get(slot); !bytes.Equal(got, []byte("flushme")) {
+		t.Fatal("flush did not persist dirty page")
+	}
+}
+
+func newTestHeap(poolSize int) (*HeapFile, *Volume) {
+	v := NewVolume(3)
+	return NewHeapFile(NewBufferPool(v, poolSize), v), v
+}
+
+func TestHeapInsertGetDelete(t *testing.T) {
+	h, _ := newTestHeap(8)
+	oid, err := h.Insert([]byte("record"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oid.Volume != 3 {
+		t.Fatalf("oid volume = %d, want 3", oid.Volume)
+	}
+	got, err := h.Get(oid)
+	if err != nil || !bytes.Equal(got, []byte("record")) {
+		t.Fatalf("get: %q %v", got, err)
+	}
+	if err := h.Delete(oid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get(oid); err == nil {
+		t.Fatal("get after delete succeeded")
+	}
+}
+
+func TestHeapWrongVolume(t *testing.T) {
+	h, _ := newTestHeap(8)
+	if _, err := h.Get(OID{Volume: 9, Page: 0, Slot: 0}); err == nil {
+		t.Fatal("cross-volume OID accepted")
+	}
+}
+
+func TestHeapManyRecordsSpanPages(t *testing.T) {
+	h, v := newTestHeap(4)
+	rec := make([]byte, 700)
+	oids := make([]OID, 0, 200)
+	for i := 0; i < 200; i++ {
+		copy(rec, fmt.Sprintf("rec-%d", i))
+		oid, err := h.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	if v.NumPages() < 10 {
+		t.Fatalf("200 x 700B records in %d pages — spanning broken", v.NumPages())
+	}
+	for i, oid := range oids {
+		got, err := h.Get(oid)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		want := fmt.Sprintf("rec-%d", i)
+		if string(got[:len(want)]) != want {
+			t.Fatalf("record %d corrupted", i)
+		}
+	}
+	if n, _ := h.Len(); n != 200 {
+		t.Fatalf("len = %d, want 200", n)
+	}
+}
+
+func TestHeapScanEarlyStop(t *testing.T) {
+	h, _ := newTestHeap(8)
+	for i := 0; i < 10; i++ {
+		h.Insert([]byte{byte(i)})
+	}
+	n := 0
+	h.Scan(func(OID, []byte) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("scan visited %d, want 3", n)
+	}
+}
+
+func TestHeapUpdate(t *testing.T) {
+	h, _ := newTestHeap(8)
+	oid, _ := h.Insert([]byte("old"))
+	nid, err := h.Update(oid, []byte("new value"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Get(nid)
+	if err != nil || !bytes.Equal(got, []byte("new value")) {
+		t.Fatalf("after update: %q %v", got, err)
+	}
+}
+
+func TestBlobDeterministicReads(t *testing.T) {
+	s := NewBlobStore(0)
+	b, err := s.Create(10000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := make([]byte, 10000)
+	if _, err := b.ReadAt(whole, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	// Arbitrary offset reads must agree with the whole-blob image.
+	for _, off := range []int64{0, 1, 7, 8, 13, 9991} {
+		part := make([]byte, 9)
+		n, err := b.ReadAt(part, off)
+		if err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(part[:n], whole[off:off+int64(n)]) {
+			t.Fatalf("read at %d disagrees with contiguous image", off)
+		}
+	}
+}
+
+func TestBlobReadAtBounds(t *testing.T) {
+	s := NewBlobStore(0)
+	b, _ := s.Create(100, 1)
+	p := make([]byte, 50)
+	if n, err := b.ReadAt(p, 80); n != 20 || err != io.EOF {
+		t.Fatalf("tail read: n=%d err=%v, want 20/EOF", n, err)
+	}
+	if _, err := b.ReadAt(p, 100); err != io.EOF {
+		t.Fatal("read at end should be EOF")
+	}
+	if _, err := b.ReadAt(p, -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestBlobStoreQuota(t *testing.T) {
+	s := NewBlobStore(1000)
+	a, err := s.Create(600, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create(600, 2); err != ErrDiskFull {
+		t.Fatalf("over-quota create = %v, want ErrDiskFull", err)
+	}
+	if err := s.Delete(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create(600, 2); err != nil {
+		t.Fatalf("create after reclaim failed: %v", err)
+	}
+	if s.Count() != 1 || s.Used() != 600 {
+		t.Fatalf("count/used = %d/%d", s.Count(), s.Used())
+	}
+	if err := s.Delete(999); err != ErrNoSuchBlob {
+		t.Fatal("deleting unknown blob should fail")
+	}
+	if _, err := s.Open(999); err != ErrNoSuchBlob {
+		t.Fatal("opening unknown blob should fail")
+	}
+}
+
+func TestOIDString(t *testing.T) {
+	oid := OID{Volume: 1, Page: 22, Slot: 3}
+	if oid.String() != "1.22.3" {
+		t.Fatalf("oid string = %q", oid.String())
+	}
+}

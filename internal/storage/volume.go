@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageID addresses a page within a volume.
+type PageID uint32
+
+// OID is a physical object identifier in Shore's style: it names a concrete
+// stored record (volume, page, slot). QuaSAQ's metadata layer maps logical
+// video OIDs to these (§4: "these OIDs refer to the video content ... rather
+// than the entity in storage").
+type OID struct {
+	Volume uint16
+	Page   PageID
+	Slot   uint16
+}
+
+// String renders the OID as vol.page.slot.
+func (o OID) String() string { return fmt.Sprintf("%d.%d.%d", o.Volume, o.Page, o.Slot) }
+
+// ErrNoSuchPage reports access to an unallocated page.
+var ErrNoSuchPage = errors.New("storage: no such page")
+
+// Volume is the persistent page store of one server: an append-allocated
+// array of page images with a free list. It stands in for a Shore volume on
+// a raw disk; images live in memory but are only reachable through page
+// reads, keeping the buffer pool honest.
+type Volume struct {
+	id uint16
+
+	mu            sync.Mutex
+	pages         [][]byte
+	free          []PageID
+	reads, writes uint64
+}
+
+// NewVolume creates an empty volume with the given id.
+func NewVolume(id uint16) *Volume {
+	return &Volume{id: id}
+}
+
+// ID returns the volume id used in OIDs.
+func (v *Volume) ID() uint16 { return v.id }
+
+// Alloc allocates a zeroed, initialized page and returns its id.
+func (v *Volume) Alloc() PageID {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if n := len(v.free); n > 0 {
+		id := v.free[n-1]
+		v.free = v.free[:n-1]
+		copy(v.pages[id], NewPage().Bytes())
+		return id
+	}
+	img := make([]byte, PageSize)
+	copy(img, NewPage().Bytes())
+	v.pages = append(v.pages, img)
+	return PageID(len(v.pages) - 1)
+}
+
+// Free returns a page to the free list. The caller must ensure no live
+// references remain.
+func (v *Volume) Free(id PageID) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if int(id) >= len(v.pages) {
+		return ErrNoSuchPage
+	}
+	v.free = append(v.free, id)
+	return nil
+}
+
+// ReadPage copies the stored image of page id into a fresh Page.
+func (v *Volume) ReadPage(id PageID) (*Page, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if int(id) >= len(v.pages) {
+		return nil, ErrNoSuchPage
+	}
+	v.reads++
+	return LoadPage(v.pages[id])
+}
+
+// WritePage stores the page image under id.
+func (v *Volume) WritePage(id PageID, p *Page) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if int(id) >= len(v.pages) {
+		return ErrNoSuchPage
+	}
+	v.writes++
+	copy(v.pages[id], p.Bytes())
+	return nil
+}
+
+// NumPages returns the number of allocated pages (including freed ones not
+// yet reused).
+func (v *Volume) NumPages() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.pages)
+}
+
+// IOStats returns the cumulative physical read and write counts.
+func (v *Volume) IOStats() (reads, writes uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.reads, v.writes
+}

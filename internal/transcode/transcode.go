@@ -1,0 +1,135 @@
+// Package transcode models the transcoding server activity (set A4 in the
+// paper's Figure 2): converting a stored replica's application QoS to a
+// different target QoS, either offline (the replicator materializing the
+// quality ladder, §3.1) or online during delivery (the prototype embedded a
+// modified `transcode` tool in its Transport API, §4).
+//
+// Planning needs two things from a transcoder: a validity predicate (which
+// conversions make sense) and a resource cost (CPU to run in real time).
+// The byte-level path re-encodes the toy bitstream for the examples and
+// tests.
+package transcode
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"quasaq/internal/media"
+	"quasaq/internal/mpeg"
+	"quasaq/internal/qos"
+	"quasaq/internal/simtime"
+)
+
+// ErrInvalid reports a conversion that static QoS rules forbid.
+var ErrInvalid = errors.New("transcode: invalid conversion")
+
+// Validate applies the paper's static pruning rules to a conversion: "it
+// makes no sense to transcode from low resolution to high resolution"
+// (§3.4) — and likewise for color depth and frame rate. Identity
+// conversions are rejected too: a no-op transcode only wastes CPU.
+func Validate(src, dst qos.AppQoS) error {
+	if err := src.Validate(); err != nil {
+		return fmt.Errorf("%w: source: %v", ErrInvalid, err)
+	}
+	if err := dst.Validate(); err != nil {
+		return fmt.Errorf("%w: target: %v", ErrInvalid, err)
+	}
+	if !src.Resolution.AtLeast(dst.Resolution) {
+		return fmt.Errorf("%w: upscaling %v -> %v", ErrInvalid, src.Resolution, dst.Resolution)
+	}
+	if dst.ColorDepth > src.ColorDepth {
+		return fmt.Errorf("%w: deepening color %d -> %d bits", ErrInvalid, src.ColorDepth, dst.ColorDepth)
+	}
+	if dst.FrameRate > src.FrameRate+1e-9 {
+		return fmt.Errorf("%w: raising frame rate %.5g -> %.5g", ErrInvalid, src.FrameRate, dst.FrameRate)
+	}
+	if src.Resolution == dst.Resolution && src.ColorDepth == dst.ColorDepth &&
+		src.FrameRate == dst.FrameRate && src.Format == dst.Format {
+		return fmt.Errorf("%w: identity conversion", ErrInvalid)
+	}
+	return nil
+}
+
+// Calibration constants for real-time transcoding cost on the paper's
+// hardware class (Pentium 4, 2.4 GHz): decoding DVD-quality MPEG-1
+// (~8.3 Mpixel/s) costs about 15% of a CPU; encoding the same costs about
+// 2.5x more.
+const (
+	decodeCostPerPixel = 1.8e-8 // CPU fraction per (pixel/s)
+	encodeCostPerPixel = 4.5e-8
+)
+
+// pixelRate is the decoded pixel throughput of a quality, weighting color
+// depth relative to the full 24-bit path.
+func pixelRate(q qos.AppQoS) float64 {
+	return float64(q.Resolution.Pixels()) * q.FrameRate * float64(q.ColorDepth) / 24
+}
+
+// CPUCost estimates the CPU fraction needed to transcode src to dst in real
+// time: the resource-vector entry the plan generator attaches to plans with
+// an online transcoding step.
+func CPUCost(src, dst qos.AppQoS) float64 {
+	return pixelRate(src)*decodeCostPerPixel + pixelRate(dst)*encodeCostPerPixel
+}
+
+// PerFrameService converts CPUCost to a per-output-frame CPU service time:
+// what the transport submits to the scheduler for each delivered frame when
+// the plan carries an online transcode.
+func PerFrameService(src, dst qos.AppQoS) simtime.Time {
+	perSecond := CPUCost(src, dst)
+	return simtime.Time(float64(simtime.Seconds(1)) * perSecond / dst.FrameRate)
+}
+
+// Offline produces the variant resulting from transcoding video v's src
+// variant to the target quality, after validation. This is what the
+// replicator runs when materializing the quality ladder.
+func Offline(src media.Variant, dst qos.AppQoS) (media.Variant, error) {
+	if err := Validate(src.Quality, dst); err != nil {
+		return media.Variant{}, err
+	}
+	return media.NewVariant(dst), nil
+}
+
+// Bytes re-encodes a toy bitstream read from r at the dst quality, writing
+// to w. Frame count and GOP structure are preserved when the frame rate is
+// unchanged; a reduced frame rate drops frames uniformly, like the real
+// tool's fps conversion.
+func Bytes(v *media.Video, r io.Reader, w io.Writer, dst qos.AppQoS) error {
+	p, err := mpeg.NewParser(r)
+	if err != nil {
+		return err
+	}
+	src := p.Info().Quality
+	if err := Validate(src, dst); err != nil {
+		return err
+	}
+	dstVar := media.NewVariant(dst)
+	keepEvery := 1.0
+	if dst.FrameRate < src.FrameRate {
+		keepEvery = src.FrameRate / dst.FrameRate
+	}
+	enc, err := mpeg.NewEncoder(w, v, dstVar, p.Info().FrameCount)
+	if err != nil {
+		return err
+	}
+	next := 0.0
+	in := 0
+	for {
+		_, err := p.NextFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if float64(in) >= next {
+			next += keepEvery
+			if err := enc.EncodeNext(); err != nil && err != io.EOF {
+				return err
+			}
+		}
+		in++
+	}
+	return enc.Close()
+}

@@ -1,0 +1,117 @@
+// Package transport implements the streaming side of QuaSAQ's Transport API
+// (§3.5, §4): sessions that pace a video's GOPs onto a server's outbound
+// link, submit per-frame processing work to the server's CPU scheduler, and
+// apply frame-dropping strategies. The original prototype built this from an
+// RTP streamer that "decodes the layering information of MPEG stream files";
+// here the layering information comes from the media package's GOP model,
+// and the per-frame completion times recorded by a session are exactly the
+// server-side inter-frame delays plotted in Figure 5.
+package transport
+
+import (
+	"fmt"
+
+	"quasaq/internal/media"
+)
+
+// DropStrategy is a runtime QoS adaptation: which frames of each GOP are
+// delivered. These are the paper's "frame dropping strategies for MPEG1
+// videos" (§4) and the elements of set A3 in Figure 2 ("No drop", "half B
+// frames", "All B frames", "All B and P").
+type DropStrategy uint8
+
+// Supported strategies, in increasing aggressiveness.
+const (
+	DropNone DropStrategy = iota
+	DropHalfB
+	DropAllB
+	DropBAndP
+	NumDropStrategies
+)
+
+// String names the strategy as in Figure 2.
+func (d DropStrategy) String() string {
+	switch d {
+	case DropNone:
+		return "no-drop"
+	case DropHalfB:
+		return "half-B"
+	case DropAllB:
+		return "all-B"
+	case DropBAndP:
+		return "all-B-and-P"
+	default:
+		return fmt.Sprintf("DropStrategy(%d)", uint8(d))
+	}
+}
+
+// Keep reports whether frame i of the video (with its GOP pattern) is
+// delivered. For DropHalfB, every second B frame within a GOP survives.
+func (d DropStrategy) Keep(gop media.GOPPattern, i int) bool {
+	kind := gop.Kind(i)
+	switch d {
+	case DropNone:
+		return true
+	case DropHalfB:
+		if kind != media.FrameB {
+			return true
+		}
+		return d.bIndex(gop, i)%2 == 1
+	case DropAllB:
+		return kind != media.FrameB
+	case DropBAndP:
+		return kind == media.FrameI
+	default:
+		return true
+	}
+}
+
+// bIndex returns the ordinal of frame i among the B frames of its GOP.
+func (DropStrategy) bIndex(gop media.GOPPattern, i int) int {
+	start := i - i%gop.Len()
+	n := 0
+	for j := start; j < i; j++ {
+		if gop.Kind(j) == media.FrameB {
+			n++
+		}
+	}
+	return n
+}
+
+// ByteFactor returns the fraction of stream bytes that survive the
+// strategy, in expectation over one GOP of the given variant. The plan
+// generator uses it to size the network reservation of plans with frame
+// dropping.
+func (d DropStrategy) ByteFactor(v *media.Video, va media.Variant) float64 {
+	var kept, total float64
+	for i := 0; i < v.GOP.Len(); i++ {
+		size := float64(va.FrameSize(v, i))
+		total += size
+		if d.Keep(v.GOP, i) {
+			kept += size
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return kept / total
+}
+
+// FrameFactor returns the fraction of frames delivered.
+func (d DropStrategy) FrameFactor(gop media.GOPPattern) float64 {
+	kept := 0
+	for i := 0; i < gop.Len(); i++ {
+		if d.Keep(gop, i) {
+			kept++
+		}
+	}
+	return float64(kept) / float64(gop.Len())
+}
+
+// EffectiveQuality maps a delivered variant quality through the strategy:
+// dropping frames lowers the effective temporal resolution the user
+// receives, which is what the planner checks against the query's frame-rate
+// requirement.
+func (d DropStrategy) EffectiveFrameRate(gop media.GOPPattern, fps float64) float64 {
+	return fps * d.FrameFactor(gop)
+}

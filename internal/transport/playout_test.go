@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"quasaq/internal/gara"
+	"quasaq/internal/netsim"
+	"quasaq/internal/simtime"
+)
+
+func evenArrivals(n int, interval simtime.Time) []simtime.Time {
+	out := make([]simtime.Time, n)
+	for i := range out {
+		out[i] = simtime.Time(i) * interval
+	}
+	return out
+}
+
+func TestAnalyzePlayoutSmooth(t *testing.T) {
+	iv := 40 * time.Millisecond
+	r := AnalyzePlayout(evenArrivals(100, iv), iv, 15)
+	if r.Rebuffers != 0 || r.Stalled != 0 {
+		t.Fatalf("smooth stream stalled: %+v", r)
+	}
+	if r.Startup != 14*iv {
+		t.Fatalf("startup = %v, want 14 intervals", r.Startup)
+	}
+	if r.Played != 100 {
+		t.Fatalf("played = %d", r.Played)
+	}
+	if !r.PlayoutOK(time.Second, 0) {
+		t.Fatal("smooth playout not OK")
+	}
+}
+
+func TestAnalyzePlayoutWithGap(t *testing.T) {
+	iv := 40 * time.Millisecond
+	arr := evenArrivals(100, iv)
+	// A one-second freeze in delivery after frame 50.
+	for i := 50; i < 100; i++ {
+		arr[i] += time.Second
+	}
+	r := AnalyzePlayout(arr, iv, 5)
+	if r.Rebuffers != 1 {
+		t.Fatalf("rebuffers = %d, want 1", r.Rebuffers)
+	}
+	if r.Stalled < 800*time.Millisecond || r.Stalled > 1200*time.Millisecond {
+		t.Fatalf("stalled = %v, want ~1s", r.Stalled)
+	}
+	if r.PlayoutOK(time.Second, 100*time.Millisecond) {
+		t.Fatal("stalled playout reported OK")
+	}
+}
+
+func TestAnalyzePlayoutBurstyArrivals(t *testing.T) {
+	// GOP-burst arrivals (15 frames at once every 625 ms) must play fine
+	// with a one-GOP startup buffer.
+	iv := simtime.Seconds(1 / 23.97)
+	var arr []simtime.Time
+	for g := 0; g < 20; g++ {
+		at := simtime.Time(g) * 625 * time.Millisecond
+		for f := 0; f < 15; f++ {
+			arr = append(arr, at)
+		}
+	}
+	r := AnalyzePlayout(arr, iv, 16)
+	if r.Rebuffers != 0 {
+		t.Fatalf("one-GOP buffer should absorb GOP bursts: %+v", r)
+	}
+	// A slower burst cadence (700 ms per 15-frame GOP, i.e. the server
+	// under-delivers) stalls a single-frame buffer on every GOP.
+	var slow []simtime.Time
+	for g := 0; g < 20; g++ {
+		at := simtime.Time(g) * 700 * time.Millisecond
+		for f := 0; f < 15; f++ {
+			slow = append(slow, at)
+		}
+	}
+	r = AnalyzePlayout(slow, iv, 1)
+	if r.Rebuffers < 10 {
+		t.Fatalf("tiny buffer should stall repeatedly: %+v", r)
+	}
+}
+
+func TestAnalyzePlayoutEdgeCases(t *testing.T) {
+	if r := AnalyzePlayout(nil, time.Millisecond, 5); r.Played != 0 {
+		t.Fatal("empty arrivals played")
+	}
+	if r := AnalyzePlayout(evenArrivals(3, time.Millisecond), 0, 5); r.Played != 0 {
+		t.Fatal("zero interval played")
+	}
+	// Startup larger than the stream clamps.
+	r := AnalyzePlayout(evenArrivals(3, time.Millisecond), time.Millisecond, 100)
+	if r.Played != 3 {
+		t.Fatalf("played = %d", r.Played)
+	}
+}
+
+func TestSessionRecordsClientArrivals(t *testing.T) {
+	sim := simtime.NewSimulator()
+	node := gara.NewNode(sim, "srv", gara.DefaultCapacity())
+	v := testVideo(20)
+	va := dvdVariant(v.FrameRate)
+	lease, err := node.Reserve("s", streamDemand(va, v.FrameRate, DropNone, v), v.FrameInterval())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := netsim.DefaultCampusPath()
+	s, err := StartReserved(sim, node, Config{
+		Video: v, Variant: va, Path: &path, PathSeed: 3, TraceFrames: 200,
+	}, lease, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	arr := s.ClientArrivals()
+	if len(arr) != 200 {
+		t.Fatalf("arrivals recorded = %d, want 200 (cap)", len(arr))
+	}
+	for i := 1; i < len(arr); i++ {
+		if arr[i] < arr[i-1] {
+			t.Fatal("arrivals not monotone")
+		}
+	}
+	// A reserved stream through a campus path plays cleanly with a
+	// one-GOP buffer.
+	r := AnalyzePlayout(arr, v.FrameInterval(), 16)
+	if r.Rebuffers > 1 {
+		t.Fatalf("reserved stream rebuffered %d times", r.Rebuffers)
+	}
+}

@@ -1,0 +1,166 @@
+package transport
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"quasaq/internal/media"
+)
+
+func TestPacketMarshalRoundTrip(t *testing.T) {
+	if err := quick.Check(func(seq uint16, ts uint32, marker bool, frame uint16, payload []byte) bool {
+		if len(payload) > MTU {
+			payload = payload[:MTU]
+		}
+		p := Packet{Seq: seq, Timestamp: ts, Marker: marker, Kind: media.FrameP, Frame: int(frame), Payload: payload}
+		got, err := UnmarshalPacket(p.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.Seq == p.Seq && got.Timestamp == p.Timestamp && got.Marker == p.Marker &&
+			got.Kind == p.Kind && got.Frame == p.Frame && bytes.Equal(got.Payload, p.Payload)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsShort(t *testing.T) {
+	if _, err := UnmarshalPacket([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short header accepted")
+	}
+	p := Packet{Payload: make([]byte, 100)}
+	img := p.Marshal()
+	if _, err := UnmarshalPacket(img[:len(img)-10]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestPacketizeSplitsAtMTU(t *testing.T) {
+	pk := NewPacketizer(23.97, 100)
+	data := make([]byte, MTU*3+17)
+	packets := pk.Packetize(0, media.FrameI, data)
+	if len(packets) != 4 {
+		t.Fatalf("packets = %d, want 4", len(packets))
+	}
+	for i, p := range packets {
+		if p.Seq != uint16(100+i) {
+			t.Fatalf("seq %d = %d", i, p.Seq)
+		}
+		if p.Marker != (i == 3) {
+			t.Fatalf("marker on packet %d", i)
+		}
+		if p.Timestamp != 0 {
+			t.Fatalf("frame 0 timestamp = %d", p.Timestamp)
+		}
+	}
+	if packets[3].Payload == nil || len(packets[3].Payload) != 17 {
+		t.Fatalf("tail payload = %d", len(packets[3].Payload))
+	}
+	// Frame 24 at 23.97 fps is ~1.0013 s -> ~90,113 ticks.
+	p2 := pk.Packetize(24, media.FrameB, []byte{1})
+	want := uint32(math.Round(24.0 / 23.97 * RTPClock))
+	if p2[0].Timestamp != want {
+		t.Fatalf("timestamp = %d, want %d", p2[0].Timestamp, want)
+	}
+	if pk.PacketsSent() != 5 {
+		t.Fatalf("sent = %d", pk.PacketsSent())
+	}
+}
+
+func TestPacketizeEmptyFrame(t *testing.T) {
+	pk := NewPacketizer(24, 0)
+	packets := pk.Packetize(0, media.FrameB, nil)
+	if len(packets) != 1 || !packets[0].Marker {
+		t.Fatalf("empty frame packets = %v", packets)
+	}
+}
+
+func TestDepacketizeLossless(t *testing.T) {
+	pk := NewPacketizer(24, 0)
+	d := NewDepacketizer()
+	var frames []*AssembledFrame
+	for f := 0; f < 10; f++ {
+		data := bytes.Repeat([]byte{byte(f)}, MTU*2+5)
+		for _, p := range pk.Packetize(f, media.DefaultGOP().Kind(f), data) {
+			if out := d.Push(p); out != nil {
+				frames = append(frames, out)
+			}
+		}
+	}
+	if len(frames) != 10 || d.FramesAssembled() != 10 || d.FramesDamaged() != 0 {
+		t.Fatalf("assembled %d (ok=%d damaged=%d)", len(frames), d.FramesAssembled(), d.FramesDamaged())
+	}
+	for f, out := range frames {
+		if out.Index != f || len(out.Data) != MTU*2+5 || out.Data[0] != byte(f) {
+			t.Fatalf("frame %d reassembled wrong", f)
+		}
+		if out.Kind != media.DefaultGOP().Kind(f) {
+			t.Fatalf("frame %d kind %v", f, out.Kind)
+		}
+	}
+}
+
+func TestDepacketizeWithLoss(t *testing.T) {
+	pk := NewPacketizer(24, 0)
+	d := NewDepacketizer()
+	ok := 0
+	for f := 0; f < 20; f++ {
+		data := bytes.Repeat([]byte{byte(f)}, MTU*3)
+		packets := pk.Packetize(f, media.FrameP, data)
+		for i, p := range packets {
+			if f%4 == 1 && i == 1 {
+				continue // lose the middle packet of every 4th frame
+			}
+			if out := d.Push(p); out != nil {
+				ok++
+			}
+		}
+	}
+	if ok != 15 {
+		t.Fatalf("assembled %d frames, want 15 (5 damaged)", ok)
+	}
+	if d.FramesDamaged() != 5 {
+		t.Fatalf("damaged = %d, want 5", d.FramesDamaged())
+	}
+}
+
+func TestDepacketizeReorderWithinFrame(t *testing.T) {
+	pk := NewPacketizer(24, 0)
+	d := NewDepacketizer()
+	data := bytes.Repeat([]byte{7}, MTU*3)
+	packets := pk.Packetize(0, media.FrameI, data)
+	// Deliver out of order: 2, 0, 1 (marker arrives before the middle).
+	if out := d.Push(packets[2]); out != nil {
+		t.Fatal("incomplete frame delivered")
+	}
+	if out := d.Push(packets[0]); out != nil {
+		t.Fatal("incomplete frame delivered")
+	}
+	out := d.Push(packets[1])
+	if out == nil {
+		t.Fatal("complete frame not delivered")
+	}
+	if !bytes.Equal(out.Data, data) {
+		t.Fatal("reordered reassembly corrupted data")
+	}
+}
+
+func TestDepacketizeStalePacketsIgnored(t *testing.T) {
+	pk := NewPacketizer(24, 0)
+	d := NewDepacketizer()
+	f0 := pk.Packetize(0, media.FrameI, bytes.Repeat([]byte{1}, MTU*2))
+	f1 := pk.Packetize(1, media.FrameB, []byte{2})
+	d.Push(f0[0]) // frame 0 starts, never completes
+	if out := d.Push(f1[0]); out == nil {
+		t.Fatal("frame 1 should complete")
+	}
+	if d.FramesDamaged() != 1 {
+		t.Fatalf("damaged = %d", d.FramesDamaged())
+	}
+	// A stale frame-0 packet arrives late: ignored.
+	if out := d.Push(f0[1]); out != nil {
+		t.Fatal("stale packet produced a frame")
+	}
+}

@@ -1,0 +1,477 @@
+package transport
+
+import (
+	"fmt"
+
+	"quasaq/internal/cpusched"
+	"quasaq/internal/gara"
+	"quasaq/internal/media"
+	"quasaq/internal/netsim"
+	"quasaq/internal/qos"
+	"quasaq/internal/simtime"
+	"quasaq/internal/stats"
+)
+
+// Per-frame streaming CPU cost calibration: packetization, copying and
+// syscalls scale with frame bytes, plus a fixed per-frame overhead. At
+// these values a DVD-quality stream (~476 KB/s, 24 fps) needs ~2.3% of the
+// testbed CPU — consistent with the paper's servers sustaining ~40
+// concurrent streams each with degraded-but-moving delivery (Fig 6a), and
+// keeping the outbound link (6-7 full-quality streams) the binding
+// resource, "the bottlenecking link is always the outband link of the
+// servers" (§5). The CPU only binds once plans add transcoding.
+const (
+	cpuPerByte  = 40.0  // nanoseconds of CPU per streamed byte
+	cpuPerFrame = 150e3 // nanoseconds of fixed CPU per frame
+)
+
+// StreamCPUCost returns the CPU fraction needed to stream the variant in
+// real time (without transcoding or encryption): the CPU entry of a plain
+// delivery plan's resource vector.
+func StreamCPUCost(va media.Variant, fps float64) float64 {
+	perSecond := va.Bitrate*cpuPerByte + fps*cpuPerFrame
+	return perSecond / 1e9
+}
+
+// frameService returns the CPU service time to process one frame of the
+// given size.
+func frameService(size int) simtime.Time {
+	return simtime.Time(float64(size)*cpuPerByte + cpuPerFrame)
+}
+
+// Config describes one streaming session.
+type Config struct {
+	Video   *media.Video
+	Variant media.Variant // quality actually delivered (post-transcode)
+	Drop    DropStrategy
+	// ExtraPerFrameCPU adds the per-frame cost of online activities the
+	// plan attached to this delivery (transcoding, encryption).
+	ExtraPerFrameCPU simtime.Time
+	// TraceFrames > 0 records the completion times of the first N
+	// delivered frames for Figure 5 style analysis.
+	TraceFrames int
+	// Path, when set, models the server-to-client network path: client
+	// arrival times add the path's delay distribution and its random loss.
+	// PathSeed makes the path's draws deterministic per session.
+	Path     *netsim.Path
+	PathSeed int64
+	// StartFrame begins delivery at the given frame index instead of 0:
+	// the resume point of a mid-playback renegotiation.
+	StartFrame int
+}
+
+// shedBacklog is the CPU backlog (queued frame tasks) beyond which a
+// best-effort session sheds newly released frames instead of queueing them:
+// a congested UDP streamer skips frames it can no longer send on time
+// rather than growing an unbounded backlog. Reserved sessions never hit
+// this in practice because admission control bounds their backlog.
+const shedBacklog = 32
+
+// Session is one in-progress media delivery.
+type Session struct {
+	sim  *simtime.Simulator
+	node *gara.Node
+	cfg  Config
+
+	lease  *gara.Lease   // nil for best-effort sessions
+	cpuJob *cpusched.Job // reserved (from lease) or per-session best-effort
+	flow   *netsim.Flow  // nil for reserved sessions
+
+	rate      float64 // pacing rate for the delivered stream, B/s
+	gopStart  simtime.Time
+	nextFrame int
+	pending   int // frames submitted to the CPU, not yet completed
+	gopDone   bool
+
+	started    simtime.Time
+	finished   simtime.Time
+	done       bool
+	cancelled  bool
+	onDone     func(*Session)
+	trace      stats.Trace
+	framesSent int
+	bytesSent  int64
+
+	// QoS accounting: network loss accrues fractionally per GOP when the
+	// achieved link share cannot carry the GOP's bytes in its window (UDP
+	// semantics — the paper's streamer pushes at clock pace and the
+	// saturated outbound link drops the excess); shed frames are dropped at
+	// the server when the CPU backlog exceeds shedBacklog.
+	framesLost float64
+	bytesLost  float64
+	framesShed int
+	lastDone   simtime.Time
+	haveDone   bool
+	delayStats stats.Summary // inter-frame delays, milliseconds
+
+	// Client-side accounting, active when cfg.Path is set.
+	pathRng        *simtime.Rand
+	clientLast     simtime.Time
+	clientHave     bool
+	clientStats    stats.Summary // client inter-frame delays, milliseconds
+	clientLost     int
+	clientFrames   int
+	clientArrivals []simtime.Time // recorded when TraceFrames > 0
+}
+
+// StartReserved begins a session whose resources are held by lease; the
+// session streams with the lease's reserved CPU job and paces at the
+// lease's reserved network bandwidth.
+func StartReserved(sim *simtime.Simulator, node *gara.Node, cfg Config, lease *gara.Lease, onDone func(*Session)) (*Session, error) {
+	if lease == nil {
+		return nil, fmt.Errorf("transport: reserved session without lease")
+	}
+	s := newSession(sim, node, cfg, onDone)
+	s.lease = lease
+	s.cpuJob = lease.CPUJob()
+	if s.cpuJob == nil {
+		return nil, fmt.Errorf("transport: lease carries no CPU reservation")
+	}
+	s.rate = lease.Vector()[qos.ResNetBandwidth]
+	if s.rate <= 0 {
+		return nil, fmt.Errorf("transport: lease carries no network reservation")
+	}
+	s.begin()
+	return s, nil
+}
+
+// StartBestEffort begins a session with no QoS support: a time-shared CPU
+// job and a fair-share flow on the outbound link — the original VDBMS's
+// delivery path.
+func StartBestEffort(sim *simtime.Simulator, node *gara.Node, cfg Config, onDone func(*Session)) (*Session, error) {
+	s := newSession(sim, node, cfg, onDone)
+	s.cpuJob = node.CPU().NewBestEffortJob(cfg.Video.Title)
+	demand := cfg.Variant.Bitrate * cfg.Drop.ByteFactor(cfg.Video, cfg.Variant)
+	if demand <= 0 {
+		demand = 1
+	}
+	s.flow = node.Link().Join(demand, nil)
+	s.rate = demand
+	s.begin()
+	return s, nil
+}
+
+func newSession(sim *simtime.Simulator, node *gara.Node, cfg Config, onDone func(*Session)) *Session {
+	if cfg.Video == nil {
+		panic("transport: nil video")
+	}
+	s := &Session{sim: sim, node: node, cfg: cfg, onDone: onDone, started: sim.Now()}
+	if cfg.Path != nil {
+		s.pathRng = simtime.NewRand(cfg.PathSeed)
+	}
+	return s
+}
+
+func (s *Session) begin() {
+	s.gopStart = s.sim.Now()
+	if s.cfg.StartFrame > 0 {
+		// Resume on a GOP boundary at or before the requested frame, so
+		// the stream restarts from an I frame like a real seek would.
+		s.nextFrame = s.cfg.StartFrame - s.cfg.StartFrame%s.cfg.Video.GOP.Len()
+	}
+	s.scheduleGOP()
+}
+
+// Position returns the index of the next frame to be scheduled: the resume
+// point for a renegotiation.
+func (s *Session) Position() int { return s.nextFrame }
+
+// scheduleGOP paces out the kept frames of the GOP beginning at
+// s.nextFrame. Frame release times are shaped by coded size within the GOP
+// (large I frames occupy a proportionally larger share of the GOP's
+// transmission window — the "intrinsic variance" of §5.1), while GOP starts
+// advance by the ideal GOP interval, stretched when the achieved network
+// rate cannot carry the GOP's bytes in that window.
+func (s *Session) scheduleGOP() {
+	if s.done {
+		return
+	}
+	v := s.cfg.Video
+	total := v.Frames()
+	if s.nextFrame >= total {
+		s.gopDone = true
+		s.maybeFinish()
+		return
+	}
+	first := s.nextFrame
+	last := first + v.GOP.Len()
+	if last > total {
+		last = total
+	}
+	var gopBytes, keptBytes float64
+	var sends []int // sizes of kept frames, in order
+	for i := first; i < last; i++ {
+		size := s.cfg.Variant.FrameSize(v, i)
+		if s.cfg.Drop.Keep(v.GOP, i) {
+			sends = append(sends, size)
+			keptBytes += float64(size)
+		}
+		gopBytes += float64(size)
+	}
+	// Window: the ideal GOP interval. The stream is clock-paced (UDP
+	// semantics): when the achieved link share cannot carry the kept bytes
+	// within the window, the excess is lost, not delayed. Loss applies to
+	// best-effort flows only — a reservation covers the stream's mean rate
+	// and client-side buffering absorbs VBR excursions around it.
+	window := simtime.Time(float64(v.GOPInterval()) * float64(last-first) / float64(v.GOP.Len()))
+	if rate := s.currentRate(); s.flow != nil && rate > 0 && window > 0 {
+		carriable := rate * simtime.ToSeconds(window)
+		if carriable < keptBytes {
+			lossFrac := 1 - carriable/keptBytes
+			s.framesLost += lossFrac * float64(len(sends))
+			s.bytesLost += lossFrac * keptBytes
+		}
+	}
+	// Release each kept frame at its byte-proportional position within the
+	// window, submitting its CPU work at release time.
+	var cum float64
+	for _, fsize := range sends {
+		frac := 0.0
+		if keptBytes > 0 {
+			frac = cum / keptBytes
+		}
+		cum += float64(fsize)
+		release := s.gopStart + simtime.Time(float64(window)*frac)
+		size := fsize
+		s.pending++
+		s.sim.ScheduleAt(release, func() { s.sendFrame(size) })
+	}
+	s.nextFrame = last
+	s.gopStart += window
+	s.gopDone = false
+	gopEnd := s.gopStart
+	s.sim.ScheduleAt(gopEnd, s.scheduleGOP)
+}
+
+func (s *Session) currentRate() float64 {
+	if s.flow != nil {
+		return s.flow.Rate()
+	}
+	return s.rate
+}
+
+// sendFrame submits one frame's processing to the CPU scheduler; the
+// completion instant is the frame's server-side processing time. A
+// best-effort session whose CPU backlog has exceeded the shedding bound
+// drops the frame instead.
+func (s *Session) sendFrame(size int) {
+	if s.done {
+		return
+	}
+	if s.lease == nil && s.cpuJob.Backlog() >= shedBacklog {
+		s.framesShed++
+		s.pending--
+		s.maybeFinish()
+		return
+	}
+	svc := frameService(size) + s.cfg.ExtraPerFrameCPU
+	s.cpuJob.Submit(svc, func(at simtime.Time) { s.frameDone(size, at) })
+}
+
+func (s *Session) frameDone(size int, at simtime.Time) {
+	if s.done {
+		return
+	}
+	s.pending--
+	s.framesSent++
+	s.bytesSent += int64(size)
+	if s.haveDone {
+		s.delayStats.Add(simtime.ToSeconds(at-s.lastDone) * 1000)
+	}
+	s.haveDone = true
+	s.lastDone = at
+	if s.cfg.TraceFrames > 0 && s.trace.Len() < s.cfg.TraceFrames {
+		s.trace.Add(at, float64(size))
+	}
+	if s.cfg.Path != nil {
+		delay, lost := s.cfg.Path.Sample(s.pathRng)
+		if lost {
+			s.clientLost++
+		} else {
+			arrival := at + delay
+			if s.clientHave && arrival < s.clientLast {
+				arrival = s.clientLast // FIFO path: no reordering
+			}
+			if s.clientHave {
+				s.clientStats.Add(simtime.ToSeconds(arrival-s.clientLast) * 1000)
+			}
+			s.clientHave = true
+			s.clientLast = arrival
+			s.clientFrames++
+			if s.cfg.TraceFrames > 0 && len(s.clientArrivals) < s.cfg.TraceFrames {
+				s.clientArrivals = append(s.clientArrivals, arrival)
+			}
+		}
+	}
+	s.maybeFinish()
+}
+
+func (s *Session) maybeFinish() {
+	if s.done || !s.gopDone || s.pending > 0 || s.nextFrame < s.cfg.Video.Frames() {
+		return
+	}
+	s.finish()
+}
+
+func (s *Session) finish() {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.finished = s.sim.Now()
+	s.releaseResources()
+	if s.onDone != nil {
+		s.onDone(s)
+	}
+}
+
+func (s *Session) releaseResources() {
+	if s.lease != nil {
+		s.lease.Release()
+		s.lease = nil
+	} else {
+		if s.cpuJob != nil {
+			s.cpuJob.Finish()
+		}
+		if s.flow != nil {
+			s.flow.Leave()
+		}
+	}
+	s.cpuJob = nil
+	s.flow = nil
+}
+
+// Cancel aborts the session, releasing resources; onDone never fires.
+func (s *Session) Cancel() {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.cancelled = true
+	s.finished = s.sim.Now()
+	s.releaseResources()
+}
+
+// Done reports whether the session has finished or been cancelled.
+func (s *Session) Done() bool { return s.done }
+
+// Cancelled reports whether the session was aborted.
+func (s *Session) Cancelled() bool { return s.cancelled }
+
+// Started returns the session's start time.
+func (s *Session) Started() simtime.Time { return s.started }
+
+// Finished returns the completion time (zero until done).
+func (s *Session) Finished() simtime.Time { return s.finished }
+
+// FramesDelivered returns the number of frames processed so far.
+func (s *Session) FramesDelivered() int { return s.framesSent }
+
+// FramesLost returns the expected frames lost to outbound-link saturation
+// (fractional: loss accrues per GOP as a carried-bytes shortfall).
+func (s *Session) FramesLost() float64 { return s.framesLost }
+
+// FramesShed returns frames dropped at the server under CPU backlog.
+func (s *Session) FramesShed() int { return s.framesShed }
+
+// LossRatio returns the fraction of delivered-intended frames that were
+// lost or shed.
+func (s *Session) LossRatio() float64 {
+	total := float64(s.framesSent+s.framesShed) + s.framesLost
+	if total <= 0 {
+		return 0
+	}
+	return (s.framesLost + float64(s.framesShed)) / total
+}
+
+// DelayStats returns the running summary of inter-frame delays in
+// milliseconds (always collected, unlike the bounded trace).
+func (s *Session) DelayStats() *stats.Summary { return &s.delayStats }
+
+// IdealInterFrameMillis returns the ideal inter-frame delay of the
+// delivered stream — "the reciprocal of the frame rate" (§5) adjusted for
+// the drop strategy's frame factor.
+func (s *Session) IdealInterFrameMillis() float64 {
+	fps := s.cfg.Drop.EffectiveFrameRate(s.cfg.Video.GOP, s.cfg.Video.FrameRate)
+	if fps <= 0 {
+		return 0
+	}
+	return 1000 / fps
+}
+
+// ClientDelayStats returns the client-side inter-frame delay summary in
+// milliseconds; empty unless Config.Path was set. The paper reports that
+// client-side data "show similar results" to the server side (§5.1) — the
+// path only adds its (small) jitter on top.
+func (s *Session) ClientDelayStats() *stats.Summary { return &s.clientStats }
+
+// ClientFramesLost returns frames lost on the server-to-client path.
+func (s *Session) ClientFramesLost() int { return s.clientLost }
+
+// ClientFramesArrived returns frames that reached the client.
+func (s *Session) ClientFramesArrived() int { return s.clientFrames }
+
+// QoSOK reports whether the finished session met its QoS: bounded loss and
+// a mean inter-frame delay near ideal. This is the "succeeded session"
+// criterion behind Figure 6b — VDBMS's unmanaged sessions complete, but
+// badly enough that they do not count as successes.
+func (s *Session) QoSOK() bool {
+	if s.LossRatio() > 0.05 {
+		return false
+	}
+	ideal := s.IdealInterFrameMillis()
+	if ideal <= 0 || s.delayStats.N() == 0 {
+		return true
+	}
+	return s.delayStats.Mean() <= 1.25*ideal
+}
+
+// BytesDelivered returns the payload bytes processed so far.
+func (s *Session) BytesDelivered() int64 { return s.bytesSent }
+
+// FrameTrace returns the recorded per-frame completion trace (times are
+// absolute virtual times; values are frame sizes).
+func (s *Session) FrameTrace() *stats.Trace { return &s.trace }
+
+// InterFrameDelaysMillis derives the Figure 5 series: intervals between
+// consecutive processed frames, in milliseconds.
+func (s *Session) InterFrameDelaysMillis() []float64 {
+	ts := s.trace.Times
+	if len(ts) < 2 {
+		return nil
+	}
+	out := make([]float64, len(ts)-1)
+	for i := 1; i < len(ts); i++ {
+		out[i-1] = simtime.ToSeconds(ts[i]-ts[i-1]) * 1000
+	}
+	return out
+}
+
+// InterGOPDelaysMillis aggregates the trace at GOP granularity (Table 2's
+// inter-GOP rows): intervals between the first processed frames of
+// consecutive GOPs.
+func (s *Session) InterGOPDelaysMillis() []float64 {
+	gopLen := s.cfg.Video.GOP.Len()
+	kept := 0
+	for i := 0; i < gopLen; i++ {
+		if s.cfg.Drop.Keep(s.cfg.Video.GOP, i) {
+			kept++
+		}
+	}
+	if kept == 0 {
+		return nil
+	}
+	ts := s.trace.Times
+	var gopTimes []simtime.Time
+	for i := 0; i < len(ts); i += kept {
+		gopTimes = append(gopTimes, ts[i])
+	}
+	if len(gopTimes) < 2 {
+		return nil
+	}
+	out := make([]float64, len(gopTimes)-1)
+	for i := 1; i < len(gopTimes); i++ {
+		out[i-1] = simtime.ToSeconds(gopTimes[i]-gopTimes[i-1]) * 1000
+	}
+	return out
+}

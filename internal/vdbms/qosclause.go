@@ -1,0 +1,178 @@
+package vdbms
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"quasaq/internal/qos"
+)
+
+// namedResolutions maps the qualitative resolution names accepted in QoS
+// clauses — the user-facing vocabulary of §3.2 ("VCD-like spatial
+// resolution") — to concrete pixel dimensions.
+var namedResolutions = map[string]qos.Resolution{
+	"QCIF": qos.ResQCIF,
+	"VCD":  qos.ResVCD,
+	"CIF":  qos.ResCIF,
+	"SD":   qos.ResSD,
+	"DVD":  qos.ResDVD,
+}
+
+// parseQoS parses the parenthesized term list after WITH QOS.
+func (p *parser) parseQoS() (qos.Requirement, error) {
+	var req qos.Requirement
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return req, err
+	}
+	for {
+		if err := p.parseQoSTerm(&req); err != nil {
+			return req, err
+		}
+		if p.accept(tokOp, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+func (p *parser) parseQoSTerm(req *qos.Requirement) error {
+	field, err := p.expect(tokIdent, "")
+	if err != nil {
+		return err
+	}
+	name := strings.ToLower(field.text)
+	switch name {
+	case "resolution", "res":
+		if p.cur().kind != tokOp {
+			return fmt.Errorf("vdbms: expected operator after resolution")
+		}
+		op := p.next().text
+		r, err := p.parseResolution()
+		if err != nil {
+			return err
+		}
+		switch op {
+		case ">=":
+			req.MinResolution = r
+		case "<=":
+			req.MaxResolution = r
+		case "=":
+			req.MinResolution, req.MaxResolution = r, r
+		default:
+			return fmt.Errorf("vdbms: resolution supports >=, <=, =; got %q", op)
+		}
+	case "depth", "color", "colordepth":
+		if _, err := p.expect(tokOp, ">="); err != nil {
+			return err
+		}
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return err
+		}
+		d, err := strconv.Atoi(n.text)
+		if err != nil {
+			return fmt.Errorf("vdbms: bad depth %q", n.text)
+		}
+		req.MinColorDepth = d
+	case "fps", "framerate":
+		if p.cur().kind != tokOp {
+			return fmt.Errorf("vdbms: expected operator after fps")
+		}
+		op := p.next().text
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return err
+		}
+		f, err := strconv.ParseFloat(n.text, 64)
+		if err != nil {
+			return fmt.Errorf("vdbms: bad fps %q", n.text)
+		}
+		switch op {
+		case ">=":
+			req.MinFrameRate = f
+		case "<=":
+			req.MaxFrameRate = f
+		case "=":
+			req.MinFrameRate, req.MaxFrameRate = f, f
+		default:
+			return fmt.Errorf("vdbms: fps supports >=, <=, =; got %q", op)
+		}
+	case "format":
+		if _, err := p.expect(tokKeyword, "IN"); err != nil {
+			return err
+		}
+		if _, err := p.expect(tokOp, "("); err != nil {
+			return err
+		}
+		for {
+			id, err := p.expect(tokIdent, "")
+			if err != nil {
+				return err
+			}
+			f, err := qos.ParseFormat(id.text)
+			if err != nil {
+				return err
+			}
+			req.Formats = append(req.Formats, f)
+			if p.accept(tokOp, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return err
+		}
+	case "security":
+		if _, err := p.expect(tokOp, ">="); err != nil {
+			return err
+		}
+		lvl, err := p.expect(tokIdent, "")
+		if err != nil {
+			return err
+		}
+		switch strings.ToLower(lvl.text) {
+		case "none":
+			req.Security = qos.SecurityNone
+		case "standard":
+			req.Security = qos.SecurityStandard
+		case "strong":
+			req.Security = qos.SecurityStrong
+		default:
+			return fmt.Errorf("vdbms: unknown security level %q", lvl.text)
+		}
+	default:
+		return fmt.Errorf("vdbms: unknown QoS term %q at %d", field.text, field.pos)
+	}
+	return nil
+}
+
+// parseResolution accepts WxH tokens or quoted/bare names like 'VCD'.
+func (p *parser) parseResolution() (qos.Resolution, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		lower := strings.ToLower(t.text)
+		parts := strings.Split(lower, "x")
+		if len(parts) != 2 {
+			return qos.Resolution{}, fmt.Errorf("vdbms: bad resolution %q", t.text)
+		}
+		w, err1 := strconv.Atoi(parts[0])
+		h, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || w <= 0 || h <= 0 {
+			return qos.Resolution{}, fmt.Errorf("vdbms: bad resolution %q", t.text)
+		}
+		return qos.Resolution{W: w, H: h}, nil
+	case tokString, tokIdent:
+		if r, ok := namedResolutions[strings.ToUpper(t.text)]; ok {
+			return r, nil
+		}
+		return qos.Resolution{}, fmt.Errorf("vdbms: unknown resolution name %q", t.text)
+	default:
+		return qos.Resolution{}, fmt.Errorf("vdbms: expected resolution at %d", t.pos)
+	}
+}

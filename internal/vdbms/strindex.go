@@ -1,0 +1,42 @@
+package vdbms
+
+import (
+	"hash/fnv"
+	"strings"
+)
+
+// String-keyed access paths are built on the page-based B+tree by hashing
+// the string to an int64 key (a hash index in B-tree clothing). Collisions
+// are harmless: the executor always re-applies the residual predicate to
+// fetched rows, so a colliding row is simply filtered out.
+
+// strKey hashes a string to a non-negative index key. Titles are hashed
+// case-sensitively (SQL string equality is exact); tags are lowered first
+// because CONTAINS matches case-insensitively.
+func strKey(s string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return int64(h.Sum64() >> 1) // keep it non-negative for readability
+}
+
+func tagKey(s string) int64 { return strKey(strings.ToLower(s)) }
+
+// chooseStringPath extends the planner with title and tag lookups. It is
+// consulted only when the numeric planner found no id/duration
+// opportunity.
+func chooseStringPath(where Expr) (AccessPath, bool) {
+	if where == nil {
+		return AccessPath{}, false
+	}
+	for _, c := range conjuncts(where) {
+		switch e := c.(type) {
+		case cmpExpr:
+			if !e.isNum && e.field == "title" && e.op == "=" {
+				return AccessPath{Kind: "title-index", IDKey: strKey(e.str)}, true
+			}
+		case containsExpr:
+			return AccessPath{Kind: "tag-index", IDKey: tagKey(e.tag)}, true
+		}
+	}
+	return AccessPath{}, false
+}

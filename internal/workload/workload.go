@@ -1,0 +1,112 @@
+// Package workload implements the traffic generator of §5: "Instead of
+// user inputs from a GUI-based client program, the queries for the
+// experiments are from a traffic generator. ... the access rate to each
+// individual video is the same and each QoS parameter is uniformly
+// distributed in its valid range. The inter-arrival time for queries is
+// exponentially distributed with an average of 1 second."
+package workload
+
+import (
+	"quasaq/internal/media"
+	"quasaq/internal/qop"
+	"quasaq/internal/qos"
+	"quasaq/internal/simtime"
+)
+
+// Request is one generated query: arrival time, receiving site, target
+// video, and the QoS requirement (already translated from the QoP tier).
+type Request struct {
+	At    simtime.Time
+	Site  string
+	Video media.VideoID
+	Tier  int // index of the QoP tier drawn, for reporting
+	Req   qos.Requirement
+}
+
+// Tiers returns the uniform QoP grid the generator draws from: one tier per
+// replica quality class, so "each QoS parameter is uniformly distributed in
+// its valid range".
+func Tiers() []qop.QoP {
+	return []qop.QoP{
+		{Spatial: qop.SpatialDVD, Temporal: qop.TemporalSmooth, Color: qop.ColorTrue},
+		{Spatial: qop.SpatialTV, Temporal: qop.TemporalStandard, Color: qop.ColorTrue},
+		{Spatial: qop.SpatialVCD, Temporal: qop.TemporalStandard, Color: qop.ColorBasic},
+		{Spatial: qop.SpatialLow, Temporal: qop.TemporalStandard, Color: qop.ColorGray},
+	}
+}
+
+// Config parameterizes a generator.
+type Config struct {
+	Seed             int64
+	Videos           []*media.Video
+	Sites            []string
+	MeanInterArrival simtime.Time // default 1 s, the paper's rate
+	// ZipfSkew skews video popularity; 0 keeps the paper's uniform access.
+	ZipfSkew float64
+}
+
+// Generator produces a deterministic Poisson query stream.
+type Generator struct {
+	cfg     Config
+	rng     *simtime.Rand
+	profile *qop.Profile
+	tiers   []qop.QoP
+	pick    func() int
+	now     simtime.Time
+	count   int
+}
+
+// New creates a generator. It panics on an empty corpus or site list, which
+// are programming errors in experiment setup.
+func New(cfg Config) *Generator {
+	if len(cfg.Videos) == 0 || len(cfg.Sites) == 0 {
+		panic("workload: empty corpus or site list")
+	}
+	if cfg.MeanInterArrival <= 0 {
+		cfg.MeanInterArrival = simtime.Seconds(1)
+	}
+	g := &Generator{
+		cfg:     cfg,
+		rng:     simtime.NewRand(cfg.Seed),
+		profile: qop.DefaultProfile("traffic-generator"),
+		tiers:   Tiers(),
+	}
+	if cfg.ZipfSkew > 0 {
+		g.pick = g.rng.Zipf(cfg.ZipfSkew, len(cfg.Videos))
+	} else {
+		g.pick = func() int { return g.rng.Intn(len(cfg.Videos)) }
+	}
+	return g
+}
+
+// Next draws the next request. Arrival times are strictly increasing.
+func (g *Generator) Next() Request {
+	g.now += g.rng.ExpDur(g.cfg.MeanInterArrival)
+	tier := g.rng.Intn(len(g.tiers))
+	g.count++
+	return Request{
+		At:    g.now,
+		Site:  g.cfg.Sites[g.rng.Intn(len(g.cfg.Sites))],
+		Video: g.cfg.Videos[g.pick()].ID,
+		Tier:  tier,
+		Req:   g.profile.Translate(g.tiers[tier]),
+	}
+}
+
+// Count returns the number of requests generated so far.
+func (g *Generator) Count() int { return g.count }
+
+// Drive schedules every arrival up to horizon on the simulator, invoking
+// serve for each request at its arrival instant.
+func (g *Generator) Drive(sim *simtime.Simulator, horizon simtime.Time, serve func(Request)) int {
+	n := 0
+	for {
+		r := g.Next()
+		if r.At > horizon {
+			return n
+		}
+		n++
+		req := r
+		sim.ScheduleAt(r.At, func() { serve(req) })
+	}
+}

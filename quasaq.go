@@ -1,0 +1,376 @@
+// Package quasaq is the public API of the QuaSAQ reproduction: a QoS-aware
+// distributed multimedia database in the architecture of "QuaSAQ: An
+// Approach to Enabling End-to-End QoS for Multimedia Databases" (EDBT
+// 2004).
+//
+// A DB bundles the simulated three-tier substrate (storage manager, content
+// engine, CPU schedulers, network links), the offline replication pipeline,
+// and the QoS-aware query processor. Queries run in two phases, exactly as
+// in the paper: the content phase resolves a (QoS-extended) SQL query to
+// logical video objects; the QoS phase enumerates delivery plans over the
+// replica/site/drop/transcode/encrypt space, costs them under current
+// contention with the Lowest Resource Bucket model, reserves resources
+// through the composite QoS API, and streams.
+//
+// Everything runs on a deterministic virtual clock: Advance moves time,
+// sessions progress, and completions fire synchronously. See the examples
+// directory for end-to-end usage.
+package quasaq
+
+import (
+	"errors"
+	"fmt"
+
+	"quasaq/internal/core"
+	"quasaq/internal/gara"
+	"quasaq/internal/media"
+	"quasaq/internal/netsim"
+	"quasaq/internal/qop"
+	"quasaq/internal/qos"
+	"quasaq/internal/replication"
+	"quasaq/internal/simtime"
+	"quasaq/internal/transport"
+	"quasaq/internal/vdbms"
+)
+
+// Re-exported substrate types: the vocabulary of the public API.
+type (
+	// Video is a logical video object (content identity + temporal
+	// structure).
+	Video = media.Video
+	// VideoID names a logical video.
+	VideoID = media.VideoID
+	// AppQoS is a quantitative application-QoS tuple.
+	AppQoS = qos.AppQoS
+	// Requirement is the QoS range component of a QoS-aware query.
+	Requirement = qos.Requirement
+	// Resolution is a spatial resolution.
+	Resolution = qos.Resolution
+	// ResourceVector is a per-resource demand/usage/capacity vector.
+	ResourceVector = qos.ResourceVector
+	// NodeCapacity configures one server's resources.
+	NodeCapacity = gara.NodeCapacity
+	// QoP is a qualitative user quality request.
+	QoP = qop.QoP
+	// Profile is a user profile translating QoP to QoS.
+	Profile = qop.Profile
+	// Plan is one QoS-aware delivery plan.
+	Plan = core.Plan
+	// Delivery is an admitted, executing delivery.
+	Delivery = core.Delivery
+	// Session is the underlying streaming session.
+	Session = transport.Session
+	// CostModel ranks candidate plans under current contention.
+	CostModel = core.CostModel
+	// SearchResult is one content-phase match.
+	SearchResult = vdbms.Result
+	// Time is a virtual timestamp (time.Duration from simulation start).
+	Time = simtime.Time
+)
+
+// Standard resolutions and QoP vocabulary, re-exported for convenience.
+var (
+	ResQCIF = qos.ResQCIF
+	ResVCD  = qos.ResVCD
+	ResCIF  = qos.ResCIF
+	ResSD   = qos.ResSD
+	ResDVD  = qos.ResDVD
+)
+
+// Qualitative QoP levels.
+const (
+	SpatialLow = qop.SpatialLow
+	SpatialVCD = qop.SpatialVCD
+	SpatialTV  = qop.SpatialTV
+	SpatialDVD = qop.SpatialDVD
+
+	TemporalChoppy   = qop.TemporalChoppy
+	TemporalStandard = qop.TemporalStandard
+	TemporalSmooth   = qop.TemporalSmooth
+
+	ColorGray  = qop.ColorGray
+	ColorBasic = qop.ColorBasic
+	ColorTrue  = qop.ColorTrue
+
+	SecurityNone     = qos.SecurityNone
+	SecurityStandard = qos.SecurityStandard
+	SecurityStrong   = qos.SecurityStrong
+)
+
+// Profile constructors, re-exported.
+var (
+	// DefaultProfile returns a neutral user profile.
+	DefaultProfile = qop.DefaultProfile
+	// PhysicianProfile is the intro scenario's demanding profile.
+	PhysicianProfile = qop.Physician
+	// NurseProfile is the intro scenario's relaxed profile.
+	NurseProfile = qop.Nurse
+	// StandardCorpus builds the 15-video synthetic corpus of §5.
+	StandardCorpus = media.StandardCorpus
+)
+
+// Cost models.
+var (
+	// ModelLRB is the paper's Lowest Resource Bucket model (Eq. 1).
+	ModelLRB CostModel = core.LRB{}
+	// ModelMinSum is the sum-of-ratios ablation model.
+	ModelMinSum CostModel = core.MinSum{}
+	// ModelStatic ignores runtime contention (traditional D-DBMS costing).
+	ModelStatic CostModel = core.StaticCheapest{}
+)
+
+// QoSCatalog returns the QoS parameter taxonomy of the paper's Table 1
+// (application/system/network levels).
+func QoSCatalog() []qos.CatalogEntry { return qos.Catalog() }
+
+// QoSCatalogEntry is one Table 1 row.
+type QoSCatalogEntry = qos.CatalogEntry
+
+// NewRandomModel returns the §5.2 randomized baseline evaluator.
+func NewRandomModel(seed int64) CostModel {
+	return core.NewRandom(simtime.NewRand(seed))
+}
+
+// Options configures Open.
+type Options struct {
+	// Sites lists server names; default is the paper's three servers.
+	Sites []string
+	// Capacity is the per-server capacity; default matches the testbed
+	// (3200 KB/s outbound, one CPU).
+	Capacity NodeCapacity
+	// Model is the plan cost model; default LRB.
+	Model CostModel
+	// SingleCopyReplication disables the quality ladder (ablation).
+	SingleCopyReplication bool
+}
+
+// DB is a QoS-aware multimedia database instance on a virtual clock.
+type DB struct {
+	sim     *simtime.Simulator
+	cluster *core.Cluster
+	manager *core.Manager
+	policy  replication.Policy
+	dynamic *replication.Dynamic
+}
+
+// Open creates an empty database.
+func Open(opts Options) (*DB, error) {
+	if len(opts.Sites) == 0 {
+		opts.Sites = []string{"srv-a", "srv-b", "srv-c"}
+	}
+	if opts.Capacity == (NodeCapacity{}) {
+		opts.Capacity = gara.DefaultCapacity()
+	}
+	if opts.Model == nil {
+		opts.Model = core.LRB{}
+	}
+	sim := simtime.NewSimulator()
+	cluster, err := core.NewCluster(sim, opts.Sites, opts.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	pol := replication.DefaultPolicy()
+	if opts.SingleCopyReplication {
+		pol = replication.SingleCopyPolicy()
+	}
+	return &DB{
+		sim:     sim,
+		cluster: cluster,
+		manager: core.NewManager(cluster, opts.Model),
+		policy:  pol,
+	}, nil
+}
+
+// AddVideos ingests videos: catalog insertion, content-metadata
+// extraction, offline replication across sites, and QoS-profile sampling
+// (the offline components of §3.1). It returns the bytes stored.
+func (db *DB) AddVideos(videos []*Video) (int64, error) {
+	return db.cluster.LoadCorpus(videos, db.policy)
+}
+
+// Sites returns the server names.
+func (db *DB) Sites() []string { return db.cluster.Sites() }
+
+// Videos returns the catalog.
+func (db *DB) Videos() []*Video { return db.cluster.Engine.All() }
+
+// Video resolves a logical OID.
+func (db *DB) Video(id VideoID) (*Video, error) { return db.cluster.Engine.Video(id) }
+
+// Now returns the current virtual time.
+func (db *DB) Now() Time { return db.sim.Now() }
+
+// Advance runs the virtual clock forward by d, progressing every session.
+func (db *DB) Advance(d Time) { db.sim.RunUntil(db.sim.Now() + d) }
+
+// RunUntilIdle drains all pending work (every active session to
+// completion).
+func (db *DB) RunUntilIdle() { db.sim.Run() }
+
+// Search runs the content phase only: parse and evaluate the query,
+// returning matching videos (with similarity distances for SIMILAR TO).
+func (db *DB) Search(sql string) ([]SearchResult, error) {
+	res, _, err := db.cluster.Engine.ExecuteSQL(sql)
+	return res, err
+}
+
+// Explain reports the access path and pipeline a query would use, without
+// executing it.
+func (db *DB) Explain(sql string) (string, error) {
+	return db.cluster.Engine.Explain(sql)
+}
+
+// Deliver runs the QoS phase for one video: plan, admit, reserve, stream.
+func (db *DB) Deliver(site string, id VideoID, req Requirement) (*Delivery, error) {
+	db.observe(id, req)
+	return db.manager.Service(site, id, req, core.ServiceOptions{})
+}
+
+// DeliverTraced is Deliver with a per-frame completion trace of up to n
+// frames (for QoS analysis).
+func (db *DB) DeliverTraced(site string, id VideoID, req Requirement, n int) (*Delivery, error) {
+	db.observe(id, req)
+	return db.manager.Service(site, id, req, core.ServiceOptions{TraceFrames: n})
+}
+
+// DeliverToClient is Deliver with a modeled server-to-client network path
+// (2-3 campus hops by default): the session additionally records
+// client-side inter-frame delays and path loss. Pass n > 0 to also keep a
+// server-side frame trace.
+func (db *DB) DeliverToClient(site string, id VideoID, req Requirement, n int) (*Delivery, error) {
+	db.observe(id, req)
+	path := netsim.DefaultCampusPath()
+	return db.manager.Service(site, id, req, core.ServiceOptions{
+		TraceFrames: n,
+		Path:        &path,
+		PathSeed:    int64(id)*7919 + 17,
+	})
+}
+
+func (db *DB) observe(id VideoID, req Requirement) {
+	if db.dynamic != nil {
+		db.dynamic.Observe(id, req)
+	}
+}
+
+// EnableDynamicReplication starts the online replication manager (§2 item
+// 1): demand observed through Deliver/Query drives periodic materialization
+// of the hottest missing replica tiers, up to batch new replicas every
+// interval. Call after AddVideos.
+func (db *DB) EnableDynamicReplication(interval Time, batch int) {
+	if db.dynamic != nil {
+		return
+	}
+	sites := make([]replication.Site, 0, len(db.Sites()))
+	for _, s := range db.Sites() {
+		sites = append(sites, replication.Site{Name: s, Blobs: db.cluster.Blobs[s]})
+	}
+	db.dynamic = replication.NewDynamic(db.sim, db.cluster.Dir, db.Videos(), sites)
+	links := map[string]*netsim.Link{}
+	for name, node := range db.cluster.Nodes {
+		links[name] = node.Link()
+	}
+	db.dynamic.SetLinks(links)
+	db.dynamic.Start(interval, batch)
+}
+
+// DynamicReplicasCreated reports how many replicas the online replicator
+// has materialized (zero when disabled).
+func (db *DB) DynamicReplicasCreated() int {
+	if db.dynamic == nil {
+		return 0
+	}
+	return db.dynamic.Created()
+}
+
+// QueryResult is the outcome of a full two-phase query.
+type QueryResult struct {
+	// Matches are the content-phase results.
+	Matches []SearchResult
+	// Delivery is the admitted delivery of the best match (nil when the
+	// query carried no QoS clause).
+	Delivery *Delivery
+}
+
+// Query runs both phases: content search, then QoS-constrained delivery of
+// the first match when the query carries a WITH QOS clause.
+func (db *DB) Query(site string, sql string) (*QueryResult, error) {
+	res, q, err := db.cluster.Engine.ExecuteSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := &QueryResult{Matches: res}
+	if !q.HasQoS || len(res) == 0 {
+		return out, nil
+	}
+	db.observe(res[0].Video.ID, q.QoS)
+	d, err := db.manager.Service(site, res[0].Video.ID, q.QoS, core.ServiceOptions{})
+	if err != nil {
+		return out, err
+	}
+	out.Delivery = d
+	return out, nil
+}
+
+// ErrExhausted reports that the requested QoP and every second-chance
+// alternative were rejected.
+var ErrExhausted = errors.New("quasaq: request and all alternatives rejected")
+
+// DeliverQoP translates the user's qualitative QoP through their profile
+// and delivers. On admission rejection it walks the profile's degradation
+// order through up to maxAlternatives weaker requirements — the paper's
+// "second chance" renegotiation path (§3.2). It returns the delivery and
+// the requirement that was finally admitted.
+func (db *DB) DeliverQoP(site string, prof *Profile, q QoP, id VideoID, maxAlternatives int) (*Delivery, Requirement, error) {
+	req := prof.Translate(q)
+	d, err := db.Deliver(site, id, req)
+	if err == nil {
+		return d, req, nil
+	}
+	if !errors.Is(err, core.ErrRejected) && !errors.Is(err, core.ErrNoPlan) {
+		return nil, req, err
+	}
+	for _, alt := range prof.Alternatives(q, maxAlternatives) {
+		if d, aerr := db.Deliver(site, id, alt); aerr == nil {
+			return d, alt, nil
+		}
+	}
+	return nil, req, fmt.Errorf("%w: %v", ErrExhausted, err)
+}
+
+// Renegotiate re-plans a live delivery under a new requirement (user QoP
+// change during playback, §3.2).
+func (db *DB) Renegotiate(d *Delivery, req Requirement) (*Delivery, error) {
+	return db.manager.Renegotiate(d, req, core.ServiceOptions{})
+}
+
+// Stats reports quality-manager outcome counters.
+type Stats struct {
+	Queries        uint64
+	Admitted       uint64
+	Rejected       uint64
+	NoPlan         uint64
+	PlansGenerated uint64
+	Renegotiations uint64
+	Outstanding    int
+}
+
+// Stats returns current counters.
+func (db *DB) Stats() Stats {
+	ms := db.manager.Stats()
+	return Stats{
+		Queries:        ms.Queries,
+		Admitted:       ms.Admitted,
+		Rejected:       ms.Rejected,
+		NoPlan:         ms.NoPlan,
+		PlansGenerated: ms.PlansGenerated,
+		Renegotiations: ms.Renegotiations,
+		Outstanding:    db.cluster.OutstandingSessions(),
+	}
+}
+
+// SiteUsage returns a site's current usage and capacity vectors — the LRB
+// bucket fillings, for observability.
+func (db *DB) SiteUsage(site string) (usage, capacity ResourceVector) {
+	return db.cluster.Usage(site)
+}
