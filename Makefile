@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check vet build test race bench chaos
+
+# The full gate: what CI (and a careful human) runs before merging.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+chaos:
+	$(GO) run ./cmd/qsqbench -exp chaos

@@ -9,7 +9,12 @@
 //	qsqbench -exp fig7      # Figure 7: LRB vs random cost model
 //	qsqbench -exp ablation  # cost-model and replication ablations
 //	qsqbench -exp overhead  # §5.2 overhead analysis
+//	qsqbench -exp chaos     # fault injection + mid-stream failover
 //	qsqbench -exp all
+//
+// The chaos experiment accepts -faults pointing at a fault-schedule file
+// (see internal/faults for the text format); without it the canonical
+// schedule runs.
 //
 // Horizons are configurable; the defaults match the paper (1000 s for
 // Figure 6, 7000 s for Figure 7).
@@ -22,28 +27,31 @@ import (
 	"os"
 
 	"quasaq/internal/experiments"
+	"quasaq/internal/faults"
 	"quasaq/internal/simtime"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig5|table2|fig6|fig7|ablation|dynamic|overhead|all")
+		exp        = flag.String("exp", "all", "experiment: fig5|table2|fig6|fig7|ablation|dynamic|overhead|chaos|all")
 		seed       = flag.Int64("seed", 11, "workload seed")
 		frames     = flag.Int("frames", 1000, "fig5: trace length in frames")
 		contention = flag.Int("contention", 45, "fig5: competing streams at high contention")
 		fig6Secs   = flag.Float64("fig6-horizon", 1000, "fig6: simulated seconds")
 		fig7Secs   = flag.Float64("fig7-horizon", 7000, "fig7: simulated seconds")
 		queries    = flag.Int("overhead-queries", 500, "overhead: planning calls to time")
+		chaosSecs  = flag.Float64("chaos-horizon", 600, "chaos: simulated seconds")
+		faultsFile = flag.String("faults", "", "chaos: fault-schedule file (default: canonical schedule)")
 		csvDir     = flag.String("csv", "", "also write series CSVs into this directory")
 	)
 	flag.Parse()
-	if err := run(*exp, *seed, *frames, *contention, *fig6Secs, *fig7Secs, *queries, *csvDir); err != nil {
+	if err := run(*exp, *seed, *frames, *contention, *fig6Secs, *fig7Secs, *chaosSecs, *queries, *faultsFile, *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, "qsqbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, seed int64, frames, contention int, fig6Secs, fig7Secs float64, queries int, csvDir string) error {
+func run(exp string, seed int64, frames, contention int, fig6Secs, fig7Secs, chaosSecs float64, queries int, faultsFile, csvDir string) error {
 	all := exp == "all"
 	if all || exp == "fig5" || exp == "table2" {
 		cfg := experiments.Fig5Config{Seed: seed, Frames: frames, Contention: contention}
@@ -150,8 +158,38 @@ func run(exp string, seed int64, frames, contention int, fig6Secs, fig7Secs floa
 		}
 		fmt.Println(experiments.FormatOverhead(res))
 	}
+	if all || exp == "chaos" {
+		cfg := experiments.DefaultChaosConfig()
+		cfg.Seed = seed
+		cfg.Horizon = simtime.Seconds(chaosSecs)
+		if faultsFile != "" {
+			text, err := os.ReadFile(faultsFile)
+			if err != nil {
+				return err
+			}
+			sched, err := faults.ParseSchedule(string(text))
+			if err != nil {
+				return err
+			}
+			cfg.Schedule = sched
+		}
+		res, err := experiments.RunChaos(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatChaos(res))
+		if csvDir != "" {
+			path, err := experiments.SaveCSV(csvDir, "chaos.csv", func(w io.Writer) error {
+				return experiments.WriteChaosCSV(w, res)
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println("wrote", path)
+		}
+	}
 	switch exp {
-	case "all", "fig5", "table2", "fig6", "fig7", "ablation", "dynamic", "overhead":
+	case "all", "fig5", "table2", "fig6", "fig7", "ablation", "dynamic", "overhead", "chaos":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"quasaq/internal/gara"
+	"quasaq/internal/media"
+	"quasaq/internal/qos"
+	"quasaq/internal/replication"
+	"quasaq/internal/simtime"
+)
+
+// Tentpole coverage: failure detection, mid-stream failover, graceful
+// rejection, and renegotiation across a source failure.
+
+func failoverManager(c *Cluster) *Manager {
+	m := NewManager(c, LRB{})
+	m.EnableFailover(DefaultFailoverPolicy())
+	return m
+}
+
+func TestFailoverResumesOnAlternateReplica(t *testing.T) {
+	sim, c := testCluster(t)
+	m := failoverManager(c)
+	var events []FailoverEvent
+	m.SetFailoverObserver(func(ev FailoverEvent) { events = append(events, ev) })
+
+	var done *Delivery
+	d, err := m.Service("srv-a", 1, vcdRequirement(), ServiceOptions{
+		OnDone: func(x *Delivery) { done = x },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origSite := d.Plan.DeliverySite
+
+	// Crash the delivery site mid-stream.
+	sim.ScheduleAt(simtime.Seconds(5), func() { c.Nodes[origSite].Fail() })
+	sim.Run()
+
+	if done != d {
+		t.Fatal("delivery did not complete after failover")
+	}
+	if d.Failovers() != 1 {
+		t.Fatalf("failovers = %d, want 1", d.Failovers())
+	}
+	if d.Plan.DeliverySite == origSite {
+		t.Fatalf("resumed on the crashed site %s", origSite)
+	}
+	if d.Failed() || d.Degraded() || d.Recovering() {
+		t.Fatalf("failed=%v degraded=%v recovering=%v", d.Failed(), d.Degraded(), d.Recovering())
+	}
+	if d.FramesLostInFailover() <= 0 {
+		t.Fatal("no frames-lost accounting")
+	}
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.FromSite != origSite || ev.ToSite != d.Plan.DeliverySite || ev.Err != nil || ev.Degraded {
+		t.Fatalf("event = %+v", ev)
+	}
+	if ev.Latency < DefaultFailoverPolicy().DetectionDelay {
+		t.Fatalf("latency %v below the detection delay", ev.Latency)
+	}
+	st := m.Stats()
+	if st.SessionFailures != 1 || st.Failovers != 1 || st.FailoverRejects != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.FailoverLatencyTotal != ev.Latency || st.FramesLostInFailover != ev.Frames {
+		t.Fatalf("aggregate metrics diverge from the event: %+v vs %+v", st, ev)
+	}
+	if c.OutstandingSessions() != 0 {
+		t.Fatal("sessions leaked")
+	}
+}
+
+func TestFailoverResumesNearLastPosition(t *testing.T) {
+	sim, c := testCluster(t)
+	m := failoverManager(c)
+	d, err := m.Service("srv-a", 1, vcdRequirement(), ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origSite := d.Plan.DeliverySite
+	sim.ScheduleAt(simtime.Seconds(10), func() { c.Nodes[origSite].Fail() })
+	sim.RunUntil(simtime.Seconds(12))
+	if d.Failovers() != 1 {
+		t.Fatalf("failovers = %d", d.Failovers())
+	}
+	// Ten seconds at >=20 fps is >=200 frames; the resumed session must
+	// start near there (GOP-rounded), not from zero.
+	if start := d.Session.StartedAtFrame(); start < 150 {
+		t.Fatalf("resumed at frame %d, want near the failure position", start)
+	}
+	sim.Run()
+}
+
+func TestFailoverNoViablePlanRejectsGracefully(t *testing.T) {
+	// Single-copy storage: the crashed site held the only replica, so
+	// recovery must exhaust its budget and reject with ErrNoViablePlan —
+	// not hang, not spin forever.
+	sim := simtime.NewSimulator()
+	c := TestbedCluster(sim)
+	if _, err := c.LoadCorpus(media.StandardCorpus(42), replication.SingleCopyPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(c, LRB{})
+	pol := DefaultFailoverPolicy()
+	pol.MaxRetries = 2
+	m.EnableFailover(pol)
+
+	var failedErr error
+	d, err := m.Service("srv-a", 1, qos.Requirement{MinColorDepth: 8}, ServiceOptions{
+		OnFailed: func(_ *Delivery, e error) { failedErr = e },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := d.Plan.Replica.Site
+	sim.ScheduleAt(simtime.Seconds(5), func() { c.Nodes[src].Fail() })
+	sim.Run() // must terminate: the retry budget bounds recovery
+
+	if failedErr == nil {
+		t.Fatal("OnFailed not fired")
+	}
+	if !errors.Is(failedErr, ErrNoViablePlan) {
+		t.Fatalf("err = %v, want ErrNoViablePlan", failedErr)
+	}
+	if !d.Failed() || !errors.Is(d.Err(), ErrNoViablePlan) {
+		t.Fatalf("failed=%v err=%v", d.Failed(), d.Err())
+	}
+	st := m.Stats()
+	if st.FailoverRejects != 1 || st.Failovers != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.FailoverRetries != uint64(pol.MaxRetries) {
+		t.Fatalf("retries = %d, want the full budget %d", st.FailoverRetries, pol.MaxRetries)
+	}
+	if c.OutstandingSessions() != 0 {
+		t.Fatal("sessions leaked")
+	}
+}
+
+func TestFailoverBestEffortFallback(t *testing.T) {
+	// Saturate the cluster, then crash one site: its sessions fail over
+	// into a cluster with no reserved headroom, so with the fallback
+	// enabled (and no retries) at least some must degrade to unreserved
+	// best-effort streams instead of being rejected.
+	sim, c := testCluster(t)
+	m := NewManager(c, LRB{})
+	pol := DefaultFailoverPolicy()
+	pol.MaxRetries = 0
+	pol.BestEffortFallback = true
+	m.EnableFailover(pol)
+	var degraded []*Delivery
+	m.SetFailoverObserver(func(ev FailoverEvent) {
+		if ev.Err != nil {
+			t.Fatalf("with the fallback enabled nothing should be abandoned: %v", ev.Err)
+		}
+	})
+
+	top := qos.Requirement{MinResolution: qos.ResDVD, MinFrameRate: 23, MinColorDepth: 24}
+	var deliveries []*Delivery
+	for i := 0; ; i++ {
+		d, err := m.Service(c.Sites()[i%3], media.VideoID(1+i%15), top, ServiceOptions{})
+		if err != nil {
+			break
+		}
+		deliveries = append(deliveries, d)
+	}
+	if len(deliveries) < 3 {
+		t.Fatalf("only %d deliveries admitted", len(deliveries))
+	}
+	sim.ScheduleAt(simtime.Seconds(5), func() { c.Nodes["srv-b"].Fail() })
+	sim.RunUntil(simtime.Seconds(30))
+	for _, d := range deliveries {
+		if d.Degraded() {
+			degraded = append(degraded, d)
+			if d.Session.Reserved() {
+				t.Fatal("degraded session still claims reservations")
+			}
+		}
+	}
+	st := m.Stats()
+	if st.BestEffortFallbacks == 0 || len(degraded) == 0 {
+		t.Fatalf("no best-effort fallbacks: stats = %+v", st)
+	}
+	if uint64(len(degraded)) != st.BestEffortFallbacks {
+		t.Fatalf("degraded deliveries %d != counter %d", len(degraded), st.BestEffortFallbacks)
+	}
+}
+
+func TestServiceDuringOutageAvoidsDownSites(t *testing.T) {
+	_, c := testCluster(t)
+	m := failoverManager(c)
+	c.Nodes["srv-b"].Fail()
+
+	// Querying the crashed site itself is a typed error.
+	if _, err := m.Service("srv-b", 1, vcdRequirement(), ServiceOptions{}); !errors.Is(err, gara.ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+	// Queries elsewhere route around the outage.
+	d, err := m.Service("srv-a", 1, vcdRequirement(), ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Cancel()
+	if d.Plan.DeliverySite == "srv-b" || d.Plan.Replica.Site == "srv-b" {
+		t.Fatalf("plan touches the crashed site: %s", d.Plan)
+	}
+}
+
+func TestFailoverDisabledAbandonsDelivery(t *testing.T) {
+	sim, c := testCluster(t)
+	m := NewManager(c, LRB{}) // failover NOT enabled
+	var failedErr error
+	d, err := m.Service("srv-a", 1, vcdRequirement(), ServiceOptions{
+		OnFailed: func(_ *Delivery, e error) { failedErr = e },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origSite := d.Plan.DeliverySite
+	sim.ScheduleAt(simtime.Seconds(5), func() { c.Nodes[origSite].Fail() })
+	sim.Run()
+	if !d.Failed() || failedErr == nil {
+		t.Fatalf("failed=%v err=%v", d.Failed(), failedErr)
+	}
+	if !errors.Is(failedErr, ErrNoViablePlan) || !errors.Is(failedErr, gara.ErrLeaseRevoked) ||
+		!errors.Is(failedErr, gara.ErrNodeDown) {
+		t.Fatalf("err = %v, want the full taxonomy chain", failedErr)
+	}
+	if c.OutstandingSessions() != 0 {
+		t.Fatal("sessions leaked")
+	}
+}
+
+func TestRenegotiateDowngrade(t *testing.T) {
+	sim, c := testCluster(t)
+	m := NewManager(c, LRB{})
+	d, err := m.Service("srv-a", 1, qos.Requirement{MinResolution: qos.ResDVD, MinColorDepth: 24}, ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntil(simtime.Seconds(10))
+	low := vcdRequirement()
+	nd, err := m.Renegotiate(d, low, ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !low.SatisfiedBy(nd.Plan.Delivered) {
+		t.Fatalf("downgraded plan delivers %v, violating %v", nd.Plan.Delivered, low)
+	}
+	if nd.Plan.Delivered.Resolution.AtLeast(qos.ResDVD) {
+		t.Fatalf("renegotiation kept the DVD tier: %v", nd.Plan.Delivered)
+	}
+	if nd.Session.StartedAtFrame() == 0 {
+		t.Fatal("downgrade restarted from frame zero")
+	}
+	sim.Run()
+}
+
+func TestRenegotiateAfterSourceFailure(t *testing.T) {
+	// A link partition kills the session (the node itself stays up, so the
+	// query site remains valid); before the failure detector's recovery
+	// fires, the user renegotiates. The pending recovery must be cancelled
+	// and the new delivery resume from the dead session's position.
+	sim, c := testCluster(t)
+	m := NewManager(c, LRB{})
+	pol := DefaultFailoverPolicy()
+	pol.DetectionDelay = simtime.Seconds(30) // slow detector: renegotiate wins the race
+	m.EnableFailover(pol)
+
+	d, err := m.Service("srv-a", 1, vcdRequirement(), ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origSite := d.Plan.DeliverySite
+	sim.ScheduleAt(simtime.Seconds(10), func() { c.Nodes[origSite].Link().Partition() })
+	sim.RunUntil(simtime.Seconds(11))
+	if !d.Recovering() {
+		t.Fatal("delivery not in recovery after the crash")
+	}
+
+	nd, err := m.Renegotiate(d, vcdRequirement(), ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.Plan.DeliverySite == origSite {
+		t.Fatal("renegotiated onto the crashed site")
+	}
+	if nd.Session.StartedAtFrame() == 0 {
+		t.Fatal("renegotiation lost the playback position")
+	}
+	if d.Recovering() {
+		t.Fatal("pending recovery not cancelled by renegotiation")
+	}
+	sim.Run() // the cancelled recovery event must not fire or hang
+	if st := m.Stats(); st.Failovers != 0 {
+		t.Fatalf("recovery ran anyway: %+v", st)
+	}
+	if c.OutstandingSessions() != 0 {
+		t.Fatal("sessions leaked")
+	}
+}
+
+func TestRenegotiateAbandonedDeliveryFails(t *testing.T) {
+	sim, c := testCluster(t)
+	m := NewManager(c, LRB{}) // no failover: the crash abandons the delivery
+	d, err := m.Service("srv-a", 1, vcdRequirement(), ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origSite := d.Plan.DeliverySite
+	sim.ScheduleAt(simtime.Seconds(5), func() { c.Nodes[origSite].Fail() })
+	sim.RunUntil(simtime.Seconds(6))
+	if _, err := m.Renegotiate(d, vcdRequirement(), ServiceOptions{}); err == nil {
+		t.Fatal("renegotiating an abandoned delivery succeeded")
+	}
+}

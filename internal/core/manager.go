@@ -12,7 +12,9 @@ import (
 	"quasaq/internal/transport"
 )
 
-// Errors returned by the quality manager.
+// Errors returned by the quality manager. Callers branch with errors.Is;
+// together with gara.ErrNodeDown and gara.ErrLeaseRevoked these form the
+// failure taxonomy of the delivery pipeline.
 var (
 	// ErrNoPlan reports an empty post-pruning search space: no replica
 	// combination can satisfy the requirement at all.
@@ -20,10 +22,16 @@ var (
 	// ErrRejected reports that every candidate plan failed admission
 	// control: the cluster lacks resources right now.
 	ErrRejected = errors.New("core: all plans rejected by admission control")
+	// ErrNoViablePlan reports that satisfying plans exist but none can run
+	// on the currently-live nodes — the graceful-rejection outcome of
+	// mid-stream failover and of querying during an outage.
+	ErrNoViablePlan = errors.New("core: no viable plan on live nodes")
 )
 
 // Delivery is one admitted, executing query: the chosen plan, its streaming
 // session, and the remote-site lease if the plan relays between sites.
+// When failover is enabled, Plan and Session are replaced in place on a
+// successful mid-stream recovery — the Delivery is the stable handle.
 type Delivery struct {
 	Plan    *Plan
 	Session *transport.Session
@@ -33,6 +41,20 @@ type Delivery struct {
 	video       *media.Video
 	req         qos.Requirement
 	querySite   string
+	opts        ServiceOptions
+
+	// Failover state.
+	recovering bool
+	recoveryEv *simtime.Event
+	failedAt   simtime.Time
+	failedFrom string
+	resumeFrom int
+	fpsAtFail  float64
+	failovers  int
+	framesLost float64
+	degraded   bool
+	failed     bool
+	err        error
 }
 
 // Video returns the delivered logical video.
@@ -41,8 +63,37 @@ func (d *Delivery) Video() *media.Video { return d.video }
 // Requirement returns the QoS requirement the delivery satisfies.
 func (d *Delivery) Requirement() qos.Requirement { return d.req }
 
-// Cancel aborts the delivery and releases every resource.
+// Failovers returns the number of successful mid-stream failovers.
+func (d *Delivery) Failovers() int { return d.failovers }
+
+// FramesLostInFailover returns the frames the viewer's clock passed while
+// no stream was flowing, summed over every failover of this delivery.
+func (d *Delivery) FramesLostInFailover() float64 { return d.framesLost }
+
+// Recovering reports whether the delivery lost its session to a fault and
+// the quality manager is still trying to fail it over.
+func (d *Delivery) Recovering() bool { return d.recovering }
+
+// Degraded reports whether the delivery fell back to an unreserved
+// best-effort stream after exhausting reserved failover plans.
+func (d *Delivery) Degraded() bool { return d.degraded }
+
+// Failed reports whether the delivery was abandoned: its session failed
+// and no viable plan survived (or failover is disabled).
+func (d *Delivery) Failed() bool { return d.failed }
+
+// Err returns the terminal error of a failed delivery (nil otherwise).
+// After an unrecoverable fault it satisfies errors.Is(err, ErrNoViablePlan).
+func (d *Delivery) Err() error { return d.err }
+
+// Cancel aborts the delivery and releases every resource, including any
+// pending failover attempt. Idempotent.
 func (d *Delivery) Cancel() {
+	if d.recoveryEv != nil {
+		d.mgr.cluster.Sim.Cancel(d.recoveryEv)
+		d.recoveryEv = nil
+	}
+	d.recovering = false
 	if !d.Session.Done() {
 		d.mgr.cluster.sessionEnded()
 	}
@@ -53,15 +104,75 @@ func (d *Delivery) Cancel() {
 	}
 }
 
-// ManagerStats counts quality-manager outcomes for the throughput figures.
+// ManagerStats counts quality-manager outcomes for the throughput figures
+// and the chaos experiment's degradation counters.
 type ManagerStats struct {
 	Queries        uint64
 	Admitted       uint64
 	Rejected       uint64 // ErrRejected outcomes (Figure 7b's reject count)
 	NoPlan         uint64
+	NoViablePlan   uint64 // ErrNoViablePlan outcomes (all plans on down sites)
 	PlansGenerated uint64
 	PlansTried     uint64
 	Renegotiations uint64
+
+	// Failure/failover counters.
+	SessionFailures     uint64 // sessions lost to faults mid-stream
+	FailoverAttempts    uint64 // recovery attempts (includes retries)
+	Failovers           uint64 // sessions resumed on an alternate plan
+	FailoverRetries     uint64 // attempts that ended in a backoff retry
+	FailoverRejects     uint64 // deliveries abandoned with ErrNoViablePlan
+	BestEffortFallbacks uint64 // deliveries degraded to unreserved streams
+
+	// FramesLostInFailover sums frames the viewers' clocks passed during
+	// failover gaps; FailoverLatencyTotal sums failure-to-resume times.
+	// Mean failover latency = FailoverLatencyTotal / Failovers.
+	FramesLostInFailover float64
+	FailoverLatencyTotal simtime.Time
+}
+
+// FailoverPolicy tunes failure detection and mid-stream recovery. The zero
+// policy (immediate detection, no retries, no fallback) is usable but
+// unrealistic; DefaultFailoverPolicy models a heartbeat detector with
+// bounded exponential backoff.
+type FailoverPolicy struct {
+	// DetectionDelay models the failure detector's lag: the sim-time between
+	// a fault killing a session and the quality manager noticing.
+	DetectionDelay simtime.Time
+	// RetryBackoff is the wait before re-attempting after a recovery attempt
+	// finds no admittable plan; it doubles on each retry.
+	RetryBackoff simtime.Time
+	// MaxRetries bounds recovery retries per failure — the per-delivery
+	// failover budget. The initial attempt is not a retry.
+	MaxRetries int
+	// BestEffortFallback, when set, downgrades the delivery to an unreserved
+	// best-effort stream when no reserved plan survives the budget, instead
+	// of abandoning it.
+	BestEffortFallback bool
+}
+
+// DefaultFailoverPolicy returns a 200 ms heartbeat detector with three
+// retries backing off from 500 ms.
+func DefaultFailoverPolicy() FailoverPolicy {
+	return FailoverPolicy{
+		DetectionDelay: simtime.Seconds(0.2),
+		RetryBackoff:   simtime.Seconds(0.5),
+		MaxRetries:     3,
+	}
+}
+
+// FailoverEvent describes one concluded recovery: a successful failover, a
+// best-effort downgrade, or an abandonment.
+type FailoverEvent struct {
+	Video    media.VideoID
+	At       simtime.Time // when recovery concluded
+	FromSite string       // delivery site of the failed session
+	ToSite   string       // new delivery site ("" when abandoned)
+	Latency  simtime.Time // failure -> resumed streaming
+	Frames   float64      // frames lost during the gap
+	Attempts int          // recovery attempts consumed
+	Degraded bool         // resumed as an unreserved best-effort stream
+	Err      error        // non-nil when the delivery was abandoned
 }
 
 // Manager is the Quality Manager of §3.4: it generates plans for the
@@ -74,6 +185,9 @@ type Manager struct {
 	gen     *Generator
 	model   CostModel
 	stats   ManagerStats
+
+	failover   *FailoverPolicy
+	onFailover func(FailoverEvent)
 }
 
 // NewManager wires a quality manager to a cluster with a cost model.
@@ -97,6 +211,52 @@ func (m *Manager) Stats() ManagerStats { return m.stats }
 // Generator exposes the plan generator (for tests and diagnostics).
 func (m *Manager) Generator() *Generator { return m.gen }
 
+// EnableFailover turns on failure detection and mid-stream recovery: when
+// an admitted session loses a resource lease (node crash, link fault), the
+// manager re-runs plan enumeration excluding down sites, reserves a new
+// lease via the composite QoS API, and resumes the stream on an alternate
+// replica from the last delivered position.
+func (m *Manager) EnableFailover(p FailoverPolicy) {
+	if p.DetectionDelay < 0 || p.RetryBackoff < 0 || p.MaxRetries < 0 {
+		panic("core: negative failover policy field")
+	}
+	m.failover = &p
+}
+
+// FailoverEnabled reports whether mid-stream recovery is on.
+func (m *Manager) FailoverEnabled() bool { return m.failover != nil }
+
+// SetFailoverObserver registers fn to be called at the conclusion of every
+// recovery (success, degrade, or abandonment) — the chaos experiment's
+// metrics tap.
+func (m *Manager) SetFailoverObserver(fn func(FailoverEvent)) { m.onFailover = fn }
+
+func (m *Manager) noteFailover(ev FailoverEvent) {
+	if m.onFailover != nil {
+		m.onFailover(ev)
+	}
+}
+
+// siteDown reports whether a site's node is crashed.
+func (m *Manager) siteDown(site string) bool {
+	n, ok := m.cluster.Nodes[site]
+	return ok && n.Down()
+}
+
+// viable filters out plans touching down sites — the "plan enumeration
+// excluding the dead site" step of both admission during an outage and
+// mid-stream failover.
+func (m *Manager) viable(plans []*Plan) []*Plan {
+	out := make([]*Plan, 0, len(plans))
+	for _, p := range plans {
+		if m.siteDown(p.DeliverySite) || m.siteDown(p.Replica.Site) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
 // ServiceOptions tunes one Service call.
 type ServiceOptions struct {
 	// TraceFrames enables the per-frame completion trace on the session.
@@ -109,6 +269,11 @@ type ServiceOptions struct {
 	StartFrame int
 	// OnDone fires when the delivery finishes.
 	OnDone func(*Delivery)
+	// OnFailed fires when a delivery is abandoned mid-stream: its session
+	// failed and failover (if enabled) exhausted its budget without finding
+	// a viable plan. The error satisfies errors.Is(err, ErrNoViablePlan)
+	// when failover ran out of plans.
+	OnFailed func(*Delivery, error)
 }
 
 // Service runs the QoS phase for one identified video: generate, rank,
@@ -116,8 +281,13 @@ type ServiceOptions struct {
 // ErrRejected.
 func (m *Manager) Service(querySite string, id media.VideoID, req qos.Requirement, opts ServiceOptions) (*Delivery, error) {
 	m.stats.Queries++
-	if _, err := m.cluster.Node(querySite); err != nil {
+	qn, err := m.cluster.Node(querySite)
+	if err != nil {
 		return nil, err
+	}
+	if qn.Down() {
+		m.stats.NoViablePlan++
+		return nil, fmt.Errorf("core: query site %s: %w", querySite, gara.ErrNodeDown)
 	}
 	v, err := m.cluster.Engine.Video(id)
 	if err != nil {
@@ -129,7 +299,13 @@ func (m *Manager) Service(querySite string, id media.VideoID, req qos.Requiremen
 		m.stats.NoPlan++
 		return nil, fmt.Errorf("%w: %s with %s", ErrNoPlan, id, req)
 	}
-	ranked := m.model.Order(plans, m.cluster.Usage)
+	live := m.viable(plans)
+	if len(live) == 0 {
+		m.stats.NoViablePlan++
+		return nil, fmt.Errorf("%w: every plan for %s touches a down site (%d plans)",
+			ErrNoViablePlan, id, len(plans))
+	}
+	ranked := m.model.Order(live, m.cluster.Usage)
 	if ss, ok := m.model.(singleShot); ok && ss.SingleShot() && len(ranked) > 1 {
 		ranked = ranked[:1]
 	}
@@ -142,35 +318,49 @@ func (m *Manager) Service(querySite string, id media.VideoID, req qos.Requiremen
 		}
 	}
 	m.stats.Rejected++
-	return nil, fmt.Errorf("%w: %s with %s (%d plans)", ErrRejected, id, req, len(plans))
+	return nil, fmt.Errorf("%w: %s with %s (%d plans)", ErrRejected, id, req, len(live))
 }
 
-// execute reserves the plan's resources (delivery site, then source site
-// for remote plans — all or nothing) and starts the session.
+// execute reserves the plan's resources and starts the session for a fresh
+// delivery.
 func (m *Manager) execute(querySite string, v *media.Video, req qos.Requirement, p *Plan, opts ServiceOptions) (*Delivery, error) {
+	d := &Delivery{mgr: m, video: v, req: req, querySite: querySite, opts: opts}
+	if err := m.executeInto(d, p, opts); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// executeInto reserves the plan's resources (delivery site, then source
+// site for remote plans — all or nothing) and starts the session, binding
+// it to d. It is the shared tail of admission and failover: on failover the
+// same Delivery gets a new Plan/Session in place.
+func (m *Manager) executeInto(d *Delivery, p *Plan, opts ServiceOptions) error {
+	v := d.video
 	deliveryNode, err := m.cluster.Node(p.DeliverySite)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	period := simtime.Seconds(1 / p.Delivered.FrameRate)
 	lease, err := deliveryNode.Reserve(v.Title, p.DeliveryDemand, period)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	var sourceLease *gara.Lease
 	if p.Remote() {
 		sourceNode, err := m.cluster.Node(p.Replica.Site)
 		if err != nil {
 			lease.Release()
-			return nil, err
+			return err
 		}
 		sourceLease, err = sourceNode.Reserve(v.Title+"-relay", p.SourceDemand, period)
 		if err != nil {
 			lease.Release()
-			return nil, err
+			return err
 		}
 	}
-	d := &Delivery{Plan: p, mgr: m, sourceLease: sourceLease, video: v, req: req, querySite: querySite}
+	d.Plan = p
+	d.sourceLease = sourceLease
 	cfg := transport.Config{
 		Video:            v,
 		Variant:          p.DeliveredVariant,
@@ -187,8 +377,8 @@ func (m *Manager) execute(querySite string, v *media.Video, req qos.Requirement,
 			d.sourceLease.Release()
 			d.sourceLease = nil
 		}
-		if opts.OnDone != nil {
-			opts.OnDone(d)
+		if d.opts.OnDone != nil {
+			d.opts.OnDone(d)
 		}
 	})
 	if err != nil {
@@ -196,11 +386,192 @@ func (m *Manager) execute(querySite string, v *media.Video, req qos.Requirement,
 		if sourceLease != nil {
 			sourceLease.Release()
 		}
-		return nil, err
+		return err
+	}
+	// Failure detection: the delivery lease's revocation fails the session
+	// (wired inside StartReserved); the session's failure, and a relay
+	// lease's revocation, both land in the manager's recovery path.
+	sess.SetOnFail(func(_ *transport.Session, cause error) { m.onSessionFail(d, cause) })
+	if sourceLease != nil {
+		sourceLease.SetOnRevoke(func(cause error) { m.onSourceFail(d, cause) })
 	}
 	m.cluster.sessionStarted()
 	d.Session = sess
-	return d, nil
+	return nil
+}
+
+// onSourceFail handles revocation of a remote plan's relay lease: the
+// source of the stream is gone, so the delivery session — though its own
+// resources are intact — can no longer be fed. Fail it; recovery follows
+// through onSessionFail.
+func (m *Manager) onSourceFail(d *Delivery, cause error) {
+	d.sourceLease = nil // already reclaimed by the revocation
+	if d.Session != nil {
+		d.Session.Fail(cause)
+	}
+}
+
+// onSessionFail is the failure-detection entry point: an admitted session
+// died mid-stream. Without failover the delivery is abandoned immediately;
+// with it, recovery is scheduled after the detector's lag.
+func (m *Manager) onSessionFail(d *Delivery, cause error) {
+	m.cluster.sessionEnded()
+	if d.sourceLease != nil {
+		d.sourceLease.Release()
+		d.sourceLease = nil
+	}
+	m.stats.SessionFailures++
+	d.failedAt = m.cluster.Sim.Now()
+	d.failedFrom = d.Plan.DeliverySite
+	d.resumeFrom = d.Session.Position()
+	d.fpsAtFail = d.Plan.Delivered.FrameRate
+	if m.failover == nil {
+		m.abandon(d, 0, cause)
+		return
+	}
+	d.recovering = true
+	d.recoveryEv = m.cluster.Sim.Schedule(m.failover.DetectionDelay, func() {
+		m.attemptFailover(d, 1)
+	})
+}
+
+// attemptFailover is one recovery attempt: re-enumerate plans, drop those
+// touching down sites, and try to reserve and resume best-first. Attempts
+// that find nothing back off exponentially until the per-delivery budget is
+// spent, then degrade to best-effort or abandon with ErrNoViablePlan.
+func (m *Manager) attemptFailover(d *Delivery, attempt int) {
+	d.recoveryEv = nil
+	if !d.recovering { // cancelled while waiting
+		return
+	}
+	m.stats.FailoverAttempts++
+	pol := *m.failover
+	plans := m.gen.Generate(d.querySite, d.video, d.req)
+	live := m.viable(plans)
+	var lastErr error
+	if len(live) == 0 {
+		lastErr = fmt.Errorf("%w: every replica of %s is on a down site (%d plans)",
+			ErrNoViablePlan, d.video.ID, len(plans))
+	} else {
+		opts := d.opts
+		opts.StartFrame = d.resumeFrom
+		for _, p := range m.model.Order(live, m.cluster.Usage) {
+			if err := m.executeInto(d, p, opts); err != nil {
+				lastErr = err
+				continue
+			}
+			d.recovering = false
+			d.failovers++
+			latency := m.cluster.Sim.Now() - d.failedAt
+			lost := simtime.ToSeconds(latency) * d.fpsAtFail
+			d.framesLost += lost
+			m.stats.Failovers++
+			m.stats.FramesLostInFailover += lost
+			m.stats.FailoverLatencyTotal += latency
+			m.noteFailover(FailoverEvent{
+				Video:    d.video.ID,
+				At:       m.cluster.Sim.Now(),
+				FromSite: d.failedFrom,
+				ToSite:   p.DeliverySite,
+				Latency:  latency,
+				Frames:   lost,
+				Attempts: attempt,
+			})
+			return
+		}
+	}
+	if attempt <= pol.MaxRetries {
+		m.stats.FailoverRetries++
+		backoff := pol.RetryBackoff << (attempt - 1)
+		d.recoveryEv = m.cluster.Sim.Schedule(backoff, func() { m.attemptFailover(d, attempt+1) })
+		return
+	}
+	if pol.BestEffortFallback && m.bestEffortFallback(d, attempt) {
+		return
+	}
+	m.abandon(d, attempt, lastErr)
+}
+
+// bestEffortFallback resumes the delivery as an unreserved stream of the
+// original replica's variant from a live site hosting one — keeping the
+// viewer moving with no QoS guarantee. Reports whether it succeeded.
+func (m *Manager) bestEffortFallback(d *Delivery, attempt int) bool {
+	for _, rep := range m.cluster.Dir.Lookup(d.querySite, d.video.ID) {
+		if m.siteDown(rep.Site) {
+			continue
+		}
+		node, err := m.cluster.Node(rep.Site)
+		if err != nil {
+			continue
+		}
+		cfg := transport.Config{
+			Video:       d.video,
+			Variant:     rep.Variant,
+			Drop:        transport.DropNone,
+			TraceFrames: d.opts.TraceFrames,
+			Path:        d.opts.Path,
+			PathSeed:    d.opts.PathSeed,
+			StartFrame:  d.resumeFrom,
+		}
+		sess, err := transport.StartBestEffort(m.cluster.Sim, node, cfg, func(*transport.Session) {
+			m.cluster.sessionEnded()
+			if d.opts.OnDone != nil {
+				d.opts.OnDone(d)
+			}
+		})
+		if err != nil {
+			continue
+		}
+		m.cluster.sessionStarted()
+		d.Session = sess
+		d.recovering = false
+		d.degraded = true
+		latency := m.cluster.Sim.Now() - d.failedAt
+		lost := simtime.ToSeconds(latency) * d.fpsAtFail
+		d.framesLost += lost
+		m.stats.BestEffortFallbacks++
+		m.stats.FramesLostInFailover += lost
+		m.noteFailover(FailoverEvent{
+			Video:    d.video.ID,
+			At:       m.cluster.Sim.Now(),
+			FromSite: d.failedFrom,
+			ToSite:   rep.Site,
+			Latency:  latency,
+			Frames:   lost,
+			Attempts: attempt,
+			Degraded: true,
+		})
+		return true
+	}
+	return false
+}
+
+// abandon marks the delivery failed with a typed error — the graceful
+// rejection of an unrecoverable mid-stream fault.
+func (m *Manager) abandon(d *Delivery, attempts int, cause error) {
+	d.recovering = false
+	d.failed = true
+	switch {
+	case cause == nil:
+		d.err = fmt.Errorf("%w: delivery of %s abandoned after %d attempts",
+			ErrNoViablePlan, d.video.ID, attempts)
+	case errors.Is(cause, ErrNoViablePlan):
+		d.err = cause
+	default:
+		d.err = fmt.Errorf("%w: delivery of %s abandoned after %d attempts: %w",
+			ErrNoViablePlan, d.video.ID, attempts, cause)
+	}
+	m.stats.FailoverRejects++
+	m.noteFailover(FailoverEvent{
+		Video:    d.video.ID,
+		At:       m.cluster.Sim.Now(),
+		FromSite: d.failedFrom,
+		Attempts: attempts,
+		Err:      d.err,
+	})
+	if d.opts.OnFailed != nil {
+		d.opts.OnFailed(d, d.err)
+	}
 }
 
 // Renegotiate services the delivery's video again under a new requirement,
@@ -212,8 +583,17 @@ func (m *Manager) execute(querySite string, v *media.Video, req qos.Requirement,
 // error alongside whatever delivery resulted.
 func (m *Manager) Renegotiate(d *Delivery, req qos.Requirement, opts ServiceOptions) (*Delivery, error) {
 	m.stats.Renegotiations++
+	if d.failed {
+		return nil, fmt.Errorf("core: renegotiate abandoned delivery: %w", d.err)
+	}
 	if opts.StartFrame == 0 {
-		opts.StartFrame = d.Session.Position()
+		if d.recovering {
+			// Mid-failover: the dead session's resume point stands in for
+			// the live playback position.
+			opts.StartFrame = d.resumeFrom
+		} else {
+			opts.StartFrame = d.Session.Position()
+		}
 	}
 	d.Cancel()
 	nd, err := m.Service(d.querySite, d.video.ID, req, opts)

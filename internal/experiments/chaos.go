@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"quasaq/internal/core"
+	"quasaq/internal/faults"
+	"quasaq/internal/media"
+	"quasaq/internal/replication"
+	"quasaq/internal/simtime"
+	"quasaq/internal/workload"
+)
+
+// The chaos experiment stresses the delivery pipeline with a deterministic
+// fault schedule: nodes crash and restart, links degrade and partition,
+// while the paper's workload keeps arriving. With failover enabled the
+// quality manager should resume interrupted streams on alternate replicas;
+// the experiment measures how well it does — failover latency, frames lost
+// during the gap, and the reject rate under faults.
+
+// ChaosConfig parameterizes a chaos run.
+type ChaosConfig struct {
+	Seed     int64
+	Horizon  simtime.Time
+	Schedule faults.Schedule
+	Policy   core.FailoverPolicy
+}
+
+// DefaultChaosConfig crashes one replica site mid-run (restarting it
+// later) and transiently degrades another site's link, under the default
+// heartbeat-and-backoff failover policy with best-effort fallback.
+func DefaultChaosConfig() ChaosConfig {
+	pol := core.DefaultFailoverPolicy()
+	pol.BestEffortFallback = true
+	return ChaosConfig{
+		Seed:     29,
+		Horizon:  simtime.Seconds(600),
+		Schedule: DefaultChaosSchedule(),
+		Policy:   pol,
+	}
+}
+
+// DefaultChaosSchedule is the canonical fault plan: srv-b crashes at 120 s
+// and returns at 300 s; srv-a's link runs at half capacity between 150 s
+// and 250 s; srv-c suffers a brief partition at 400 s.
+func DefaultChaosSchedule() faults.Schedule {
+	return faults.Schedule{
+		{At: simtime.Seconds(120), Kind: faults.NodeCrash, Target: "srv-b"},
+		{At: simtime.Seconds(150), Kind: faults.LinkDegrade, Target: "srv-a", Factor: 0.5},
+		{At: simtime.Seconds(250), Kind: faults.LinkRestore, Target: "srv-a"},
+		{At: simtime.Seconds(300), Kind: faults.NodeRestart, Target: "srv-b"},
+		{At: simtime.Seconds(400), Kind: faults.LinkPartition, Target: "srv-c"},
+		{At: simtime.Seconds(420), Kind: faults.LinkRestore, Target: "srv-c"},
+	}
+}
+
+// ChaosResult aggregates one chaos run.
+type ChaosResult struct {
+	Queries   int
+	Admitted  int
+	Rejected  int
+	Completed int // finished cleanly (including resumed-after-failover)
+	QoSOK     int
+	Abandoned int // admitted but lost to faults beyond recovery
+
+	Stats    core.ManagerStats
+	Events   []core.FailoverEvent // concluded recoveries, in sim order
+	FaultLog []faults.Record      // what the injector actually applied
+}
+
+// MeanFailoverLatencySeconds is the average failure-to-resume time over
+// successful failovers.
+func (r *ChaosResult) MeanFailoverLatencySeconds() float64 {
+	if r.Stats.Failovers == 0 {
+		return 0
+	}
+	return simtime.ToSeconds(r.Stats.FailoverLatencyTotal) / float64(r.Stats.Failovers)
+}
+
+// RejectRate is rejected queries over all queries.
+func (r *ChaosResult) RejectRate() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	return float64(r.Rejected) / float64(r.Queries)
+}
+
+// RunChaos drives the paper's workload against the testbed while the fault
+// schedule fires, with mid-stream failover enabled. Same config -> same
+// result: the workload, the schedule, and recovery are all deterministic.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	if err := cfg.Schedule.Validate(); err != nil {
+		return nil, err
+	}
+	sim := simtime.NewSimulator()
+	cluster := core.TestbedCluster(sim)
+	corpus := media.StandardCorpus(uint64(cfg.Seed))
+	if _, err := cluster.LoadCorpus(corpus, replication.DefaultPolicy()); err != nil {
+		return nil, err
+	}
+
+	res := &ChaosResult{}
+	mgr := core.NewManager(cluster, core.LRB{})
+	mgr.EnableFailover(cfg.Policy)
+	mgr.SetFailoverObserver(func(ev core.FailoverEvent) {
+		res.Events = append(res.Events, ev)
+	})
+
+	in := faults.NewInjector(sim)
+	for _, site := range cluster.Sites() {
+		in.RegisterNode(cluster.Nodes[site])
+	}
+	if err := in.Apply(cfg.Schedule); err != nil {
+		return nil, err
+	}
+
+	gen := paperWorkload(cfg.Seed, cluster, corpus)
+	gen.Drive(sim, cfg.Horizon, func(r workload.Request) {
+		res.Queries++
+		if _, err := mgr.Service(r.Site, r.Video, r.Req, core.ServiceOptions{
+			OnDone: func(d *core.Delivery) {
+				res.Completed++
+				if d.Session.QoSOK() {
+					res.QoSOK++
+				}
+			},
+			OnFailed: func(*core.Delivery, error) { res.Abandoned++ },
+		}); err != nil {
+			res.Rejected++
+		} else {
+			res.Admitted++
+		}
+	})
+	sim.RunUntil(cfg.Horizon)
+
+	res.Stats = mgr.Stats()
+	res.FaultLog = in.Log()
+	return res, nil
+}
+
+// FormatChaos renders the run the way an operator would read an incident
+// report: what broke, what recovered, and what it cost.
+func FormatChaos(r *ChaosResult) string {
+	var b strings.Builder
+	b.WriteString("Chaos: workload under fault injection with mid-stream failover\n\n")
+	b.WriteString("Faults applied:\n")
+	for _, rec := range r.FaultLog {
+		status := "applied"
+		if !rec.Applied {
+			status = "no-op"
+		}
+		fmt.Fprintf(&b, "  %-40s %s\n", rec.Event.String(), status)
+	}
+	fmt.Fprintf(&b, "\nQueries %d  admitted %d  rejected %d (%.1f%%)  completed %d  QoS-OK %d  abandoned %d\n",
+		r.Queries, r.Admitted, r.Rejected, 100*r.RejectRate(), r.Completed, r.QoSOK, r.Abandoned)
+	s := r.Stats
+	fmt.Fprintf(&b, "Session failures %d  failover attempts %d  failovers %d  retries %d  best-effort %d  rejects %d\n",
+		s.SessionFailures, s.FailoverAttempts, s.Failovers, s.FailoverRetries, s.BestEffortFallbacks, s.FailoverRejects)
+	fmt.Fprintf(&b, "Mean failover latency %.3f s  frames lost in failover %.1f\n",
+		r.MeanFailoverLatencySeconds(), s.FramesLostInFailover)
+	if len(r.Events) > 0 {
+		b.WriteString("\nRecoveries:\n")
+		fmt.Fprintf(&b, "  %8s %6s %-8s %-8s %10s %8s %8s %s\n",
+			"t(s)", "video", "from", "to", "latency(s)", "frames", "attempts", "outcome")
+		for _, ev := range r.Events {
+			fmt.Fprintf(&b, "  %8.2f %6d %-8s %-8s %10.3f %8.1f %8d %s\n",
+				simtime.ToSeconds(ev.At), ev.Video, ev.FromSite, orDash(ev.ToSite),
+				simtime.ToSeconds(ev.Latency), ev.Frames, ev.Attempts, outcomeOf(ev))
+		}
+	}
+	return b.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func outcomeOf(ev core.FailoverEvent) string {
+	switch {
+	case ev.Err != nil:
+		return "abandoned"
+	case ev.Degraded:
+		return "best-effort"
+	default:
+		return "resumed"
+	}
+}
+
+// WriteChaosCSV writes the recovery events as tidy CSV: one row per
+// concluded recovery. Deterministic: same config -> byte-identical output.
+func WriteChaosCSV(w io.Writer, r *ChaosResult) error {
+	if _, err := io.WriteString(w, "time_s,video,from_site,to_site,latency_s,frames_lost,attempts,outcome\n"); err != nil {
+		return err
+	}
+	for _, ev := range r.Events {
+		row := strings.Join([]string{
+			strconv.FormatFloat(simtime.ToSeconds(ev.At), 'f', 3, 64),
+			strconv.FormatUint(uint64(ev.Video), 10),
+			ev.FromSite,
+			ev.ToSite,
+			strconv.FormatFloat(simtime.ToSeconds(ev.Latency), 'f', 3, 64),
+			strconv.FormatFloat(ev.Frames, 'f', 1, 64),
+			strconv.Itoa(ev.Attempts),
+			outcomeOf(ev),
+		}, ",")
+		if _, err := io.WriteString(w, row+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -20,8 +20,25 @@ import (
 	"quasaq/internal/simtime"
 )
 
-// ErrRejected reports an admission-control rejection.
-var ErrRejected = errors.New("gara: admission control rejected reservation")
+// Typed error taxonomy of the composite QoS API. Callers branch with
+// errors.Is; every wrapped message carries the node/lease context.
+var (
+	// ErrRejected reports an admission-control rejection.
+	ErrRejected = errors.New("gara: admission control rejected reservation")
+	// ErrNodeDown reports an operation against a crashed node.
+	ErrNodeDown = errors.New("gara: node down")
+	// ErrLeaseRevoked reports that the node withdrew a live lease (node
+	// crash, link partition, operator revocation) out from under its holder.
+	ErrLeaseRevoked = errors.New("gara: lease revoked")
+	// ErrLeaseReleased reports an operation on an already-released lease.
+	ErrLeaseReleased = errors.New("gara: lease already released")
+)
+
+// NodeEvent describes a node state transition delivered to watchers.
+type NodeEvent struct {
+	Node *Node
+	Down bool
+}
 
 // NodeCapacity configures one server's resources. The defaults mirror the
 // paper's testbed: one CPU, 3200 KB/s outbound streaming bandwidth, a disk
@@ -67,6 +84,10 @@ type Node struct {
 	netResv  float64 // mirrors link reservations made through leases
 
 	leases int
+	live   []*Lease // live leases, oldest first
+
+	down     bool
+	watchers []func(NodeEvent)
 }
 
 // NewNode creates a node with its CPU scheduler and outbound link.
@@ -110,6 +131,67 @@ func (n *Node) Usage() qos.ResourceVector {
 // Leases returns the number of live leases, i.e. admitted delivery jobs.
 func (n *Node) Leases() int { return n.leases }
 
+// Down reports whether the node is crashed.
+func (n *Node) Down() bool { return n.down }
+
+// Watch registers fn to be called on every node state transition (crash,
+// restart). Watchers fire in registration order.
+func (n *Node) Watch(fn func(NodeEvent)) {
+	if fn != nil {
+		n.watchers = append(n.watchers, fn)
+	}
+}
+
+func (n *Node) notify() {
+	ev := NodeEvent{Node: n, Down: n.down}
+	for _, fn := range n.watchers {
+		fn(ev)
+	}
+}
+
+// Fail crashes the node: every live lease is revoked (oldest first, so
+// holders observe failures in admission order), the outbound link is
+// partitioned, and further reservations fail with ErrNodeDown until
+// Restore. Idempotent.
+func (n *Node) Fail() {
+	if n.down {
+		return
+	}
+	n.down = true
+	cause := fmt.Errorf("%w: %s crashed", ErrNodeDown, n.name)
+	for _, l := range append([]*Lease(nil), n.live...) {
+		l.Revoke(cause)
+	}
+	n.link.Partition()
+	n.notify()
+}
+
+// Restore restarts a crashed node with empty resource managers — the state
+// a process has after a crash-restart cycle (all prior leases were revoked
+// by Fail). Idempotent.
+func (n *Node) Restore() {
+	if !n.down {
+		return
+	}
+	n.down = false
+	n.link.Restore()
+	n.notify()
+}
+
+// RevokeOldestLease revokes the longest-lived lease on the node — the
+// fault injector's operator-revocation event (e.g. a preempted allocation
+// in a shared cluster). It reports whether a lease was revoked.
+func (n *Node) RevokeOldestLease(cause error) bool {
+	if len(n.live) == 0 {
+		return false
+	}
+	if cause == nil {
+		cause = ErrLeaseRevoked
+	}
+	n.live[0].Revoke(cause)
+	return true
+}
+
 // Admit reports whether the demand vector fits the node right now. This is
 // the admission-control check of the composite QoS API; Reserve may still
 // fail if conditions change between Admit and Reserve.
@@ -126,6 +208,8 @@ type Lease struct {
 	cpuJob   *cpusched.Job
 	netResv  *netsim.Reservation
 	released bool
+	revoked  bool
+	onRevoke func(cause error)
 }
 
 // Reserve atomically acquires the demand vector for a delivery job. The
@@ -135,6 +219,9 @@ type Lease struct {
 func (n *Node) Reserve(name string, v qos.ResourceVector, period simtime.Time) (*Lease, error) {
 	if period <= 0 {
 		return nil, fmt.Errorf("gara: non-positive period %v", period)
+	}
+	if n.down {
+		return nil, fmt.Errorf("%w: %s", ErrNodeDown, n.name)
 	}
 	// Cheap checks first: disk and memory counters.
 	if n.diskUsed+v[qos.ResDiskBandwidth] > n.capacity[qos.ResDiskBandwidth]+1e-9 ||
@@ -147,6 +234,10 @@ func (n *Node) Reserve(name string, v qos.ResourceVector, period simtime.Time) (
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrRejected, err)
 		}
+		// A link fault (partition or degradation) that sheds this
+		// reservation revokes the whole lease: the end-to-end guarantee is
+		// gone the moment any leg is.
+		r.SetOnRevoke(func(cause error) { l.Revoke(cause) })
 		l.netResv = r
 		n.netResv += v[qos.ResNetBandwidth]
 	}
@@ -165,6 +256,7 @@ func (n *Node) Reserve(name string, v qos.ResourceVector, period simtime.Time) (
 	n.diskUsed += v[qos.ResDiskBandwidth]
 	n.memUsed += v[qos.ResMemory]
 	n.leases++
+	n.live = append(n.live, l)
 	return l, nil
 }
 
@@ -189,7 +281,9 @@ func (l *Lease) Vector() qos.ResourceVector { return l.vec }
 // lease reserved no CPU.
 func (l *Lease) CPUJob() *cpusched.Job { return l.cpuJob }
 
-// Release returns every resource to the node. Idempotent.
+// Release returns every resource to the node. Idempotent: double release
+// (and release after revocation) is a no-op, so CPU jobs and link
+// reservations are never returned twice.
 func (l *Lease) Release() {
 	if l.released {
 		return
@@ -210,6 +304,40 @@ func (l *Lease) Release() {
 		n.memUsed = 0
 	}
 	n.leases--
+	for i, x := range n.live {
+		if x == l {
+			n.live = append(n.live[:i], n.live[i+1:]...)
+			break
+		}
+	}
+}
+
+// Revoked reports whether the node withdrew the lease (as opposed to the
+// holder releasing it).
+func (l *Lease) Revoked() bool { return l.revoked }
+
+// SetOnRevoke registers a callback fired when the node withdraws the lease
+// (node crash, link fault, operator revocation). The callback receives an
+// error satisfying errors.Is(err, ErrLeaseRevoked). It never fires after a
+// voluntary Release.
+func (l *Lease) SetOnRevoke(fn func(cause error)) { l.onRevoke = fn }
+
+// Revoke is the fault path of Release: the node withdraws the lease,
+// returning its resources, and notifies the holder with ErrLeaseRevoked
+// wrapping the cause. Idempotent; a released lease cannot be revoked.
+func (l *Lease) Revoke(cause error) {
+	if l.released {
+		return
+	}
+	l.revoked = true
+	err := fmt.Errorf("%w: %s on %s", ErrLeaseRevoked, l.name, l.node.name)
+	if cause != nil {
+		err = fmt.Errorf("%w: %s on %s: %w", ErrLeaseRevoked, l.name, l.node.name, cause)
+	}
+	l.Release()
+	if l.onRevoke != nil {
+		l.onRevoke(err)
+	}
 }
 
 // Renegotiate atomically replaces the lease's reservation with a new
@@ -220,15 +348,16 @@ func (l *Lease) Release() {
 // old job must rebind to CPUJob().
 func (l *Lease) Renegotiate(v qos.ResourceVector) error {
 	if l.released {
-		return errors.New("gara: renegotiate on released lease")
+		return fmt.Errorf("%w: renegotiate %s on %s", ErrLeaseReleased, l.name, l.node.name)
 	}
 	old := l.vec
 	n := l.node
 	name, period := l.name, l.period
+	onRevoke := l.onRevoke
 	l.Release()
 	nl, err := n.Reserve(name, v, period)
 	if err == nil {
-		*l = *nl
+		l.adopt(nl, onRevoke)
 		return nil
 	}
 	// Restore: the old vector just fit, so this cannot fail.
@@ -236,6 +365,24 @@ func (l *Lease) Renegotiate(v qos.ResourceVector) error {
 	if rerr != nil {
 		return fmt.Errorf("gara: renegotiation lost original reservation: %v (after %w)", rerr, err)
 	}
-	*l = *ol
+	l.adopt(ol, onRevoke)
 	return err
+}
+
+// adopt moves a freshly reserved lease's state into l, preserving the
+// holder's identity: the node's live list and the link reservation's
+// revocation callback are rebound to l, and the holder's revocation
+// callback survives the swap.
+func (l *Lease) adopt(nl *Lease, onRevoke func(cause error)) {
+	*l = *nl
+	l.onRevoke = onRevoke
+	if l.netResv != nil {
+		l.netResv.SetOnRevoke(func(cause error) { l.Revoke(cause) })
+	}
+	for i, x := range l.node.live {
+		if x == nl {
+			l.node.live[i] = l
+			break
+		}
+	}
 }

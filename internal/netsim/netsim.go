@@ -23,16 +23,35 @@ import (
 // unreserved capacity.
 var ErrInsufficientBandwidth = errors.New("netsim: insufficient bandwidth")
 
+// ErrLinkDown reports an operation against a partitioned link.
+var ErrLinkDown = errors.New("netsim: link down")
+
+// LinkEvent describes a link state transition delivered to watchers.
+type LinkEvent struct {
+	Link     *Link
+	Down     bool    // true after a partition, false otherwise
+	Capacity float64 // effective capacity after the transition
+}
+
 // Link is one direction of a network attachment with fixed capacity in
 // bytes per second. Reserved bandwidth is guaranteed; best-effort flows
 // share what remains, max-min fairly.
+//
+// A link can be degraded (capacity scaled down) or partitioned (down) by
+// the fault injector; reservations that no longer fit are revoked
+// newest-first and their holders notified through the revocation callback.
 type Link struct {
 	sim      *simtime.Simulator
 	name     string
-	capacity float64
+	base     float64 // configured capacity
+	capacity float64 // effective capacity (base x degradation factor)
+	down     bool
 
 	reserved float64
+	resvs    []*Reservation // live reservations, oldest first
 	flows    []*Flow
+
+	watchers []func(LinkEvent)
 
 	peakReserved float64
 }
@@ -42,14 +61,37 @@ func NewLink(sim *simtime.Simulator, name string, capacity float64) *Link {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("netsim: non-positive capacity %v", capacity))
 	}
-	return &Link{sim: sim, name: name, capacity: capacity}
+	return &Link{sim: sim, name: name, base: capacity, capacity: capacity}
 }
 
 // Name returns the link's diagnostic name.
 func (l *Link) Name() string { return l.name }
 
-// Capacity returns the configured capacity in bytes per second.
+// Capacity returns the effective capacity in bytes per second (the
+// configured capacity scaled by any active degradation; zero when
+// partitioned).
 func (l *Link) Capacity() float64 { return l.capacity }
+
+// BaseCapacity returns the configured, fault-free capacity.
+func (l *Link) BaseCapacity() float64 { return l.base }
+
+// Down reports whether the link is partitioned.
+func (l *Link) Down() bool { return l.down }
+
+// Watch registers fn to be called on every link state transition
+// (degradation, partition, restore). Watchers fire in registration order.
+func (l *Link) Watch(fn func(LinkEvent)) {
+	if fn != nil {
+		l.watchers = append(l.watchers, fn)
+	}
+}
+
+func (l *Link) notify() {
+	ev := LinkEvent{Link: l, Down: l.down, Capacity: l.capacity}
+	for _, fn := range l.watchers {
+		fn(ev)
+	}
+}
 
 // Reserved returns the total currently reserved bandwidth.
 func (l *Link) Reserved() float64 { return l.reserved }
@@ -65,10 +107,21 @@ type Reservation struct {
 	link     *Link
 	rate     float64
 	released bool
+	revoked  bool
+	onRevoke func(cause error)
 }
 
 // Rate returns the reserved bytes per second.
 func (r *Reservation) Rate() float64 { return r.rate }
+
+// Revoked reports whether the link withdrew the reservation (fault path),
+// as opposed to the holder releasing it.
+func (r *Reservation) Revoked() bool { return r.revoked }
+
+// SetOnRevoke registers a callback fired when the link withdraws the
+// reservation because of a fault (partition or degradation below the
+// reserved total). It never fires after a voluntary Release.
+func (r *Reservation) SetOnRevoke(fn func(cause error)) { r.onRevoke = fn }
 
 // Release returns the bandwidth to the link. Idempotent.
 func (r *Reservation) Release() {
@@ -76,11 +129,36 @@ func (r *Reservation) Release() {
 		return
 	}
 	r.released = true
-	r.link.reserved -= r.rate
-	if r.link.reserved < 0 {
-		r.link.reserved = 0
-	}
+	r.link.drop(r)
 	r.link.recompute()
+}
+
+// revoke is the fault path: the link withdraws the guarantee and notifies
+// the holder.
+func (r *Reservation) revoke(cause error) {
+	if r.released {
+		return
+	}
+	r.released = true
+	r.revoked = true
+	r.link.drop(r)
+	if r.onRevoke != nil {
+		r.onRevoke(cause)
+	}
+}
+
+// drop removes the reservation from the link's accounting (no recompute).
+func (l *Link) drop(r *Reservation) {
+	l.reserved -= r.rate
+	if l.reserved < 0 {
+		l.reserved = 0
+	}
+	for i, x := range l.resvs {
+		if x == r {
+			l.resvs = append(l.resvs[:i], l.resvs[i+1:]...)
+			break
+		}
+	}
 }
 
 // Reserve guarantees rate bytes per second, failing if the unreserved
@@ -88,6 +166,9 @@ func (r *Reservation) Release() {
 func (l *Link) Reserve(rate float64) (*Reservation, error) {
 	if rate <= 0 {
 		return nil, fmt.Errorf("netsim: non-positive reservation %v", rate)
+	}
+	if l.down {
+		return nil, fmt.Errorf("%w: %s", ErrLinkDown, l.name)
 	}
 	if l.reserved+rate > l.capacity+1e-9 {
 		return nil, fmt.Errorf("%w: want %.0f, available %.0f of %.0f",
@@ -97,8 +178,53 @@ func (l *Link) Reserve(rate float64) (*Reservation, error) {
 	if l.reserved > l.peakReserved {
 		l.peakReserved = l.reserved
 	}
+	r := &Reservation{link: l, rate: rate}
+	l.resvs = append(l.resvs, r)
 	l.recompute()
-	return &Reservation{link: l, rate: rate}, nil
+	return r, nil
+}
+
+// Degrade scales the link's capacity to factor x the configured capacity —
+// the fault injector's partial-failure knob (congestion collapse, flapping
+// interface). Reservations that no longer fit are revoked newest-first,
+// so the oldest admitted streams keep their guarantees. factor must be in
+// (0, 1]; Restore undoes the degradation.
+func (l *Link) Degrade(factor float64) {
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("netsim: degradation factor %v outside (0,1]", factor))
+	}
+	l.capacity = l.base * factor
+	l.shedReservations(fmt.Errorf("%w: %s degraded to %.0f B/s", ErrInsufficientBandwidth, l.name, l.capacity))
+	l.recompute()
+	l.notify()
+}
+
+// Partition takes the link down entirely: every reservation is revoked
+// (newest-first), best-effort flows drop to zero rate, and further
+// Reserve calls fail with ErrLinkDown until Restore.
+func (l *Link) Partition() {
+	l.down = true
+	l.capacity = 0
+	l.shedReservations(fmt.Errorf("%w: %s partitioned", ErrLinkDown, l.name))
+	l.recompute()
+	l.notify()
+}
+
+// Restore clears any partition or degradation, returning the link to its
+// configured capacity.
+func (l *Link) Restore() {
+	l.down = false
+	l.capacity = l.base
+	l.recompute()
+	l.notify()
+}
+
+// shedReservations revokes reservations newest-first until the reserved
+// total fits the (possibly zero) effective capacity.
+func (l *Link) shedReservations(cause error) {
+	for l.reserved > l.capacity+1e-9 && len(l.resvs) > 0 {
+		l.resvs[len(l.resvs)-1].revoke(cause)
+	}
 }
 
 // Flow is a best-effort traffic stream. Its achieved rate is recomputed

@@ -87,7 +87,10 @@ type Session struct {
 	finished   simtime.Time
 	done       bool
 	cancelled  bool
+	failed     bool
+	failCause  error
 	onDone     func(*Session)
+	onFail     func(*Session, error)
 	trace      stats.Trace
 	framesSent int
 	bytesSent  int64
@@ -131,6 +134,10 @@ func StartReserved(sim *simtime.Simulator, node *gara.Node, cfg Config, lease *g
 	if s.rate <= 0 {
 		return nil, fmt.Errorf("transport: lease carries no network reservation")
 	}
+	// Failure detection: if the node withdraws the lease mid-stream (node
+	// crash, link partition, operator revocation), the session fails and
+	// reports the cause through the OnFail hook.
+	lease.SetOnRevoke(func(cause error) { s.Fail(cause) })
 	s.begin()
 	return s, nil
 }
@@ -175,6 +182,19 @@ func (s *Session) begin() {
 // Position returns the index of the next frame to be scheduled: the resume
 // point for a renegotiation.
 func (s *Session) Position() int { return s.nextFrame }
+
+// StartedAtFrame returns the GOP-rounded frame index the session actually
+// began delivering from (0 for a fresh playback).
+func (s *Session) StartedAtFrame() int {
+	if s.cfg.StartFrame <= 0 {
+		return 0
+	}
+	return s.cfg.StartFrame - s.cfg.StartFrame%s.cfg.Video.GOP.Len()
+}
+
+// Reserved reports whether the session streams on reserved resources (as
+// opposed to a best-effort fallback).
+func (s *Session) Reserved() bool { return s.lease != nil }
 
 // scheduleGOP paces out the kept frames of the GOP beginning at
 // s.nextFrame. Frame release times are shaped by coded size within the GOP
@@ -342,6 +362,8 @@ func (s *Session) releaseResources() {
 }
 
 // Cancel aborts the session, releasing resources; onDone never fires.
+// Idempotent: cancelling a finished, failed, or already-cancelled session
+// is a no-op, so resources are never released twice.
 func (s *Session) Cancel() {
 	if s.done {
 		return
@@ -352,11 +374,41 @@ func (s *Session) Cancel() {
 	s.releaseResources()
 }
 
+// SetOnFail registers a callback fired when the session fails mid-stream
+// (its lease revoked, or Fail called by the quality manager). It is the
+// failure-path counterpart of the completion callback: exactly one of
+// onDone / onFail fires, and neither fires after Cancel.
+func (s *Session) SetOnFail(fn func(*Session, error)) { s.onFail = fn }
+
+// Fail aborts the session because its resources were lost (as opposed to
+// the viewer hanging up, which is Cancel). Resources are released
+// (idempotently — a revoked lease has already been reclaimed), onDone never
+// fires, and the OnFail hook receives the cause. Idempotent.
+func (s *Session) Fail(cause error) {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.failed = true
+	s.failCause = cause
+	s.finished = s.sim.Now()
+	s.releaseResources()
+	if s.onFail != nil {
+		s.onFail(s, cause)
+	}
+}
+
 // Done reports whether the session has finished or been cancelled.
 func (s *Session) Done() bool { return s.done }
 
 // Cancelled reports whether the session was aborted.
 func (s *Session) Cancelled() bool { return s.cancelled }
+
+// Failed reports whether the session was aborted by a mid-stream fault.
+func (s *Session) Failed() bool { return s.failed }
+
+// FailCause returns the fault that aborted the session (nil unless Failed).
+func (s *Session) FailCause() error { return s.failCause }
 
 // Started returns the session's start time.
 func (s *Session) Started() simtime.Time { return s.started }

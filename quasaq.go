@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"quasaq/internal/core"
+	"quasaq/internal/faults"
 	"quasaq/internal/gara"
 	"quasaq/internal/media"
 	"quasaq/internal/netsim"
@@ -62,6 +63,14 @@ type (
 	Session = transport.Session
 	// CostModel ranks candidate plans under current contention.
 	CostModel = core.CostModel
+	// FailoverPolicy tunes failure detection and mid-stream recovery.
+	FailoverPolicy = core.FailoverPolicy
+	// FailoverEvent describes one concluded recovery.
+	FailoverEvent = core.FailoverEvent
+	// FaultSchedule is an ordered fault-injection plan.
+	FaultSchedule = faults.Schedule
+	// FaultEvent is one scheduled fault.
+	FaultEvent = faults.Event
 	// SearchResult is one content-phase match.
 	SearchResult = vdbms.Result
 	// Time is a virtual timestamp (time.Duration from simulation start).
@@ -95,6 +104,16 @@ const (
 	SecurityNone     = qos.SecurityNone
 	SecurityStandard = qos.SecurityStandard
 	SecurityStrong   = qos.SecurityStrong
+)
+
+// Fault kinds for building FaultSchedule values directly.
+const (
+	FaultNodeCrash     = faults.NodeCrash
+	FaultNodeRestart   = faults.NodeRestart
+	FaultLinkDegrade   = faults.LinkDegrade
+	FaultLinkRestore   = faults.LinkRestore
+	FaultLinkPartition = faults.LinkPartition
+	FaultLeaseRevoke   = faults.LeaseRevoke
 )
 
 // Profile constructors, re-exported.
@@ -316,6 +335,98 @@ func (db *DB) Query(site string, sql string) (*QueryResult, error) {
 // alternative were rejected.
 var ErrExhausted = errors.New("quasaq: request and all alternatives rejected")
 
+// Failure taxonomy, re-exported for errors.Is checks against Deliver,
+// Renegotiate, and Delivery.Err results.
+var (
+	// ErrNoViablePlan: plans exist but none can run on live nodes (or
+	// failover exhausted its budget without finding one).
+	ErrNoViablePlan = core.ErrNoViablePlan
+	// ErrNodeDown: the target (or query) site is crashed.
+	ErrNodeDown = gara.ErrNodeDown
+	// ErrLeaseRevoked: a resource lease was revoked by a fault.
+	ErrLeaseRevoked = gara.ErrLeaseRevoked
+)
+
+// DefaultFailoverPolicy returns the standard heartbeat detector with
+// bounded exponential backoff, re-exported from the quality manager.
+var DefaultFailoverPolicy = core.DefaultFailoverPolicy
+
+// EnableFailover turns on failure detection and mid-stream recovery: when
+// a fault kills an admitted session, the quality manager re-plans on the
+// surviving sites and resumes the stream from the last delivered position,
+// degrading to best-effort or rejecting with ErrNoViablePlan per policy.
+func (db *DB) EnableFailover(p FailoverPolicy) { db.manager.EnableFailover(p) }
+
+// OnFailover registers fn to observe every concluded recovery (success,
+// best-effort downgrade, or abandonment).
+func (db *DB) OnFailover(fn func(FailoverEvent)) { db.manager.SetFailoverObserver(fn) }
+
+// CrashSite fails a server: all its leases are revoked, its sessions die,
+// and its link partitions. Idempotent.
+func (db *DB) CrashSite(site string) error {
+	n, err := db.cluster.Node(site)
+	if err != nil {
+		return err
+	}
+	n.Fail()
+	return nil
+}
+
+// RestoreSite brings a crashed server (and its link) back. Idempotent.
+func (db *DB) RestoreSite(site string) error {
+	n, err := db.cluster.Node(site)
+	if err != nil {
+		return err
+	}
+	n.Restore()
+	return nil
+}
+
+// SiteDown reports whether a server is crashed.
+func (db *DB) SiteDown(site string) bool {
+	n, err := db.cluster.Node(site)
+	return err == nil && n.Down()
+}
+
+// DegradeLink caps a site's outbound link at factor (0,1] of its
+// configured capacity, revoking newest-first any reservations that no
+// longer fit.
+func (db *DB) DegradeLink(site string, factor float64) error {
+	n, err := db.cluster.Node(site)
+	if err != nil {
+		return err
+	}
+	n.Link().Degrade(factor)
+	return nil
+}
+
+// RestoreLink returns a site's outbound link to full configured capacity.
+func (db *DB) RestoreLink(site string) error {
+	n, err := db.cluster.Node(site)
+	if err != nil {
+		return err
+	}
+	n.Link().Restore()
+	return nil
+}
+
+// InjectFaults arms a fault schedule against the database's sites on the
+// virtual clock; the faults fire as Advance/RunUntilIdle move time.
+func (db *DB) InjectFaults(s FaultSchedule) error {
+	in := faults.NewInjector(db.sim)
+	for _, site := range db.Sites() {
+		in.RegisterNode(db.cluster.Nodes[site])
+	}
+	return in.Apply(s)
+}
+
+// ParseFaultSchedule reads the fault-schedule text format (see the
+// internal/faults package comment: one "offset kind target [arg]" line per
+// event).
+func ParseFaultSchedule(text string) (FaultSchedule, error) {
+	return faults.ParseSchedule(text)
+}
+
 // DeliverQoP translates the user's qualitative QoP through their profile
 // and delivers. On admission rejection it walks the profile's degradation
 // order through up to maxAlternatives weaker requirements — the paper's
@@ -350,9 +461,19 @@ type Stats struct {
 	Admitted       uint64
 	Rejected       uint64
 	NoPlan         uint64
+	NoViablePlan   uint64
 	PlansGenerated uint64
 	Renegotiations uint64
 	Outstanding    int
+
+	// Failure/failover counters (zero unless EnableFailover was called and
+	// faults occurred).
+	SessionFailures      uint64
+	Failovers            uint64
+	BestEffortFallbacks  uint64
+	FailoverRejects      uint64
+	FramesLostInFailover float64
+	FailoverLatencyTotal Time
 }
 
 // Stats returns current counters.
@@ -363,9 +484,17 @@ func (db *DB) Stats() Stats {
 		Admitted:       ms.Admitted,
 		Rejected:       ms.Rejected,
 		NoPlan:         ms.NoPlan,
+		NoViablePlan:   ms.NoViablePlan,
 		PlansGenerated: ms.PlansGenerated,
 		Renegotiations: ms.Renegotiations,
 		Outstanding:    db.cluster.OutstandingSessions(),
+
+		SessionFailures:      ms.SessionFailures,
+		Failovers:            ms.Failovers,
+		BestEffortFallbacks:  ms.BestEffortFallbacks,
+		FailoverRejects:      ms.FailoverRejects,
+		FramesLostInFailover: ms.FramesLostInFailover,
+		FailoverLatencyTotal: ms.FailoverLatencyTotal,
 	}
 }
 
