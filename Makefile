@@ -1,8 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race bench chaos
+.PHONY: check vet build test race bench bench-all chaos
 
-# The full gate: what CI (and a careful human) runs before merging.
+# The full gate: what CI (and a careful human) runs before merging. The
+# race target covers the plan pipeline's atomic counters and cache.
 check: vet build race
 
 vet:
@@ -17,7 +18,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Plan-phase benchmarks (cold vs warm candidate cache, full sort vs
+# best-first pop), archived as a JSON artifact for diffing across PRs.
 bench:
+	$(GO) test -run '^$$' -bench PlanPhase -benchmem ./internal/core | $(GO) run ./cmd/benchjson > BENCH_plan_phase.json
+	@cat BENCH_plan_phase.json
+
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 chaos:

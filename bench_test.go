@@ -223,7 +223,7 @@ func BenchmarkPlanGeneration(b *testing.B) {
 	b.ResetTimer()
 	n := 0
 	for i := 0; i < b.N; i++ {
-		n += len(gen.Generate("srv-a", v, req))
+		n += len(gen.GenerateAll("srv-a", v, req))
 	}
 	b.ReportMetric(float64(n)/float64(b.N), "plans/query")
 }
@@ -234,7 +234,7 @@ func BenchmarkLRBRanking(b *testing.B) {
 	c := benchCluster(b)
 	gen := core.NewGenerator(c.Dir, core.DefaultGeneratorConfig(c.Capacity()))
 	v, _ := c.Engine.Video(1)
-	plans := gen.Generate("srv-a", v, qos.Requirement{MinColorDepth: 8})
+	plans := gen.GenerateAll("srv-a", v, qos.Requirement{MinColorDepth: 8})
 	var lrb core.LRB
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

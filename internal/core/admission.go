@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+
+	"quasaq/internal/gara"
+	"quasaq/internal/media"
+	"quasaq/internal/netsim"
+	"quasaq/internal/qos"
+	"quasaq/internal/simtime"
+	"quasaq/internal/transport"
+)
+
+// ServiceOptions tunes one Service call.
+type ServiceOptions struct {
+	// TraceFrames enables the per-frame completion trace on the session.
+	TraceFrames int
+	// Path, when set, models the server-to-client network path for
+	// client-side QoS accounting; PathSeed seeds its randomness.
+	Path     *netsim.Path
+	PathSeed int64
+	// StartFrame resumes delivery at a frame offset (renegotiation).
+	StartFrame int
+	// OnDone fires when the delivery finishes.
+	OnDone func(*Delivery)
+	// OnFailed fires when a delivery is abandoned mid-stream: its session
+	// failed and failover (if enabled) exhausted its budget without finding
+	// a viable plan. The error satisfies errors.Is(err, ErrNoViablePlan)
+	// when failover ran out of plans.
+	OnFailed func(*Delivery, error)
+}
+
+// Service runs the QoS phase for one identified video through the staged
+// plan pipeline: candidate set (cached enumeration), liveness filter,
+// incremental best-first costing, admission, reservation, streaming. It
+// returns the admitted delivery, or ErrNoPlan / ErrRejected with the last
+// per-plan admission failure joined into the error chain.
+func (m *Manager) Service(querySite string, id media.VideoID, req qos.Requirement, opts ServiceOptions) (*Delivery, error) {
+	m.stats.Queries++
+	qn, err := m.cluster.Node(querySite)
+	if err != nil {
+		return nil, err
+	}
+	if qn.Down() {
+		m.stats.NoViablePlan++
+		return nil, fmt.Errorf("core: query site %s: %w", querySite, gara.ErrNodeDown)
+	}
+	v, err := m.cluster.Engine.Video(id)
+	if err != nil {
+		return nil, err
+	}
+	plans := m.planCandidates(querySite, v, req)
+	m.stats.PlansGenerated += uint64(len(plans))
+	if len(plans) == 0 {
+		m.stats.NoPlan++
+		return nil, fmt.Errorf("%w: %s with %s", ErrNoPlan, id, req)
+	}
+	live := m.viable(plans)
+	if len(live) == 0 {
+		m.stats.NoViablePlan++
+		return nil, fmt.Errorf("%w: every plan for %s touches a down site (%d plans)",
+			ErrNoViablePlan, id, len(plans))
+	}
+	var lastErr error
+	next := m.admissionOrder(live)
+	for p, ok := next(); ok; p, ok = next() {
+		m.stats.PlansTried++
+		d, err := m.execute(querySite, v, req, p, opts)
+		if err == nil {
+			m.stats.Admitted++
+			return d, nil
+		}
+		lastErr = err
+	}
+	m.stats.Rejected++
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w: %s with %s (%d plans): %w", ErrRejected, id, req, len(live), lastErr)
+	}
+	return nil, fmt.Errorf("%w: %s with %s (%d plans)", ErrRejected, id, req, len(live))
+}
+
+// planCandidates is the static stage of the pipeline: the memoized
+// candidate set for (querySite, video, requirement). A fresh cache entry
+// skips enumeration entirely; otherwise the lazy generator fills one under
+// the current topology/liveness epochs.
+func (m *Manager) planCandidates(querySite string, v *media.Video, req qos.Requirement) []*Plan {
+	if plans, ok := m.cache.Get(querySite, v.ID, req); ok {
+		return plans
+	}
+	plans := m.gen.GenerateAll(querySite, v, req)
+	m.cache.Put(querySite, v.ID, req, plans)
+	return plans
+}
+
+// viable filters out plans touching down sites — the "plan enumeration
+// excluding the dead site" step of both admission during an outage and
+// mid-stream failover. It never mutates the (possibly cached) input.
+func (m *Manager) viable(plans []*Plan) []*Plan {
+	out := make([]*Plan, 0, len(plans))
+	for _, p := range plans {
+		if m.siteDown(p.DeliverySite) || m.siteDown(p.Replica.Site) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// admissionOrder is the dynamic costing stage: it returns an iterator
+// yielding live plans best-first under the configured model and current
+// usage. Models with incremental costing pop from a heap (O(n) build,
+// O(log n) per plan actually tried); single-shot models draw exactly one
+// plan; anything else falls back to a full Order.
+func (m *Manager) admissionOrder(live []*Plan) func() (*Plan, bool) {
+	if ss, ok := m.model.(singleShot); ok && ss.SingleShot() {
+		ranked := m.model.Order(live, m.cluster.Usage)
+		if len(ranked) > 1 {
+			ranked = ranked[:1]
+		}
+		return sliceIter(ranked)
+	}
+	if coster, ok := m.model.(Coster); ok {
+		return NewBestFirst(live, coster, m.cluster.Usage).Next
+	}
+	return sliceIter(m.model.Order(live, m.cluster.Usage))
+}
+
+func sliceIter(plans []*Plan) func() (*Plan, bool) {
+	i := 0
+	return func() (*Plan, bool) {
+		if i == len(plans) {
+			return nil, false
+		}
+		p := plans[i]
+		i++
+		return p, true
+	}
+}
+
+// execute reserves the plan's resources and starts the session for a fresh
+// delivery.
+func (m *Manager) execute(querySite string, v *media.Video, req qos.Requirement, p *Plan, opts ServiceOptions) (*Delivery, error) {
+	d := &Delivery{mgr: m, video: v, req: req, querySite: querySite, opts: opts}
+	if err := m.executeInto(d, p, opts); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// executeInto reserves the plan's resources (delivery site, then source
+// site for remote plans — all or nothing) and starts the session, binding
+// it to d. It is the shared tail of admission and failover: on failover the
+// same Delivery gets a new Plan/Session in place.
+func (m *Manager) executeInto(d *Delivery, p *Plan, opts ServiceOptions) error {
+	v := d.video
+	deliveryNode, err := m.cluster.Node(p.DeliverySite)
+	if err != nil {
+		return err
+	}
+	period := simtime.Seconds(1 / p.Delivered.FrameRate)
+	lease, err := deliveryNode.Reserve(v.Title, p.DeliveryDemand, period)
+	if err != nil {
+		return err
+	}
+	var sourceLease *gara.Lease
+	if p.Remote() {
+		sourceNode, err := m.cluster.Node(p.Replica.Site)
+		if err != nil {
+			lease.Release()
+			return err
+		}
+		sourceLease, err = sourceNode.Reserve(v.Title+"-relay", p.SourceDemand, period)
+		if err != nil {
+			lease.Release()
+			return err
+		}
+	}
+	d.Plan = p
+	d.sourceLease = sourceLease
+	cfg := transport.Config{
+		Video:            v,
+		Variant:          p.DeliveredVariant,
+		Drop:             p.Drop,
+		ExtraPerFrameCPU: p.ExtraPerFrameCPU,
+		TraceFrames:      opts.TraceFrames,
+		Path:             opts.Path,
+		PathSeed:         opts.PathSeed,
+		StartFrame:       opts.StartFrame,
+	}
+	sess, err := transport.StartReserved(m.cluster.Sim, deliveryNode, cfg, lease, func(*transport.Session) {
+		m.cluster.sessionEnded()
+		if d.sourceLease != nil {
+			d.sourceLease.Release()
+			d.sourceLease = nil
+		}
+		if d.opts.OnDone != nil {
+			d.opts.OnDone(d)
+		}
+	})
+	if err != nil {
+		lease.Release()
+		if sourceLease != nil {
+			sourceLease.Release()
+		}
+		return err
+	}
+	// Failure detection: the delivery lease's revocation fails the session
+	// (wired inside StartReserved); the session's failure, and a relay
+	// lease's revocation, both land in the manager's recovery path.
+	sess.SetOnFail(func(_ *transport.Session, cause error) { m.onSessionFail(d, cause) })
+	if sourceLease != nil {
+		sourceLease.SetOnRevoke(func(cause error) { m.onSourceFail(d, cause) })
+	}
+	m.cluster.sessionStarted()
+	d.Session = sess
+	return nil
+}
+
+// Renegotiate services the delivery's video again under a new requirement,
+// cancelling the current session first — the §3.2 renegotiation path for
+// user QoP changes during playback. Delivery resumes from the session's
+// playback position (rounded back to a GOP boundary) rather than
+// restarting. If the new requirement cannot be admitted it attempts to
+// restore a delivery at the original requirement and returns the admission
+// error alongside whatever delivery resulted.
+func (m *Manager) Renegotiate(d *Delivery, req qos.Requirement, opts ServiceOptions) (*Delivery, error) {
+	m.stats.Renegotiations++
+	if d.failed {
+		return nil, fmt.Errorf("core: renegotiate abandoned delivery: %w", d.err)
+	}
+	if opts.StartFrame == 0 {
+		if d.recovering {
+			// Mid-failover: the dead session's resume point stands in for
+			// the live playback position.
+			opts.StartFrame = d.resumeFrom
+		} else {
+			opts.StartFrame = d.Session.Position()
+		}
+	}
+	d.Cancel()
+	nd, err := m.Service(d.querySite, d.video.ID, req, opts)
+	if err == nil {
+		return nd, nil
+	}
+	if od, rerr := m.Service(d.querySite, d.video.ID, d.req, opts); rerr == nil {
+		return od, err
+	}
+	return nil, err
+}

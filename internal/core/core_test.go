@@ -56,7 +56,7 @@ func TestGenerateProducesSatisfyingPlans(t *testing.T) {
 	gen := NewGenerator(c.Dir, DefaultGeneratorConfig(c.Capacity()))
 	v, _ := c.Engine.Video(1)
 	req := vcdRequirement()
-	plans := gen.Generate("srv-a", v, req)
+	plans := gen.GenerateAll("srv-a", v, req)
 	if len(plans) == 0 {
 		t.Fatal("no plans generated")
 	}
@@ -83,7 +83,7 @@ func TestGenerateFig2ShapedSpace(t *testing.T) {
 	gen := NewGenerator(c.Dir, DefaultGeneratorConfig(c.Capacity()))
 	v, _ := c.Engine.Video(1)
 	req := qos.Requirement{MinColorDepth: 8} // loose: big space
-	plans := gen.Generate("srv-a", v, req)
+	plans := gen.GenerateAll("srv-a", v, req)
 	var sawRemote, sawTranscode, sawDrop, sawPlain bool
 	for _, p := range plans {
 		if p.Remote() {
@@ -110,7 +110,7 @@ func TestGenerateNeverUpscales(t *testing.T) {
 	gen := NewGenerator(c.Dir, DefaultGeneratorConfig(c.Capacity()))
 	v, _ := c.Engine.Video(1)
 	req := qos.Requirement{MinResolution: qos.ResDVD}
-	plans := gen.Generate("srv-a", v, req)
+	plans := gen.GenerateAll("srv-a", v, req)
 	if len(plans) == 0 {
 		t.Fatal("DVD requirement should be satisfiable by the original")
 	}
@@ -129,7 +129,7 @@ func TestGenerateFrameRateRespectsDrop(t *testing.T) {
 	gen := NewGenerator(c.Dir, DefaultGeneratorConfig(c.Capacity()))
 	v, _ := c.Engine.Video(1) // 23.97 fps
 	req := qos.Requirement{MinFrameRate: 20}
-	for _, p := range gen.Generate("srv-a", v, req) {
+	for _, p := range gen.GenerateAll("srv-a", v, req) {
 		if p.Drop != transport.DropNone && p.Drop != transport.DropHalfB {
 			t.Fatalf("aggressive drop %v cannot satisfy fps >= 20 (delivers %.4g)",
 				p.Drop, p.Delivered.FrameRate)
@@ -142,14 +142,14 @@ func TestGenerateEncryptionRules(t *testing.T) {
 	gen := NewGenerator(c.Dir, DefaultGeneratorConfig(c.Capacity()))
 	v, _ := c.Engine.Video(1)
 	// No security requirement: no plan may carry encryption (wasted CPU).
-	for _, p := range gen.Generate("srv-a", v, qos.Requirement{}) {
+	for _, p := range gen.GenerateAll("srv-a", v, qos.Requirement{}) {
 		if p.Encrypt != nil {
 			t.Fatalf("unrequested encryption in %s", p)
 		}
 	}
 	// Strong security: every plan encrypts at strong level.
 	req := qos.Requirement{Security: qos.SecurityStrong}
-	plans := gen.Generate("srv-a", v, req)
+	plans := gen.GenerateAll("srv-a", v, req)
 	if len(plans) == 0 {
 		t.Fatal("no plans under strong security")
 	}
@@ -168,7 +168,7 @@ func TestGenerateImpossibleRequirement(t *testing.T) {
 	gen := NewGenerator(c.Dir, DefaultGeneratorConfig(c.Capacity()))
 	v, _ := c.Engine.Video(1)
 	req := qos.Requirement{MinResolution: qos.Resolution{W: 1920, H: 1080}}
-	if plans := gen.Generate("srv-a", v, req); len(plans) != 0 {
+	if plans := gen.GenerateAll("srv-a", v, req); len(plans) != 0 {
 		t.Fatalf("impossible requirement produced %d plans", len(plans))
 	}
 	_, pruned := gen.Stats()
@@ -208,7 +208,7 @@ func TestRandomOrderIsPermutation(t *testing.T) {
 	_, c := testCluster(t)
 	gen := NewGenerator(c.Dir, DefaultGeneratorConfig(c.Capacity()))
 	v, _ := c.Engine.Video(1)
-	plans := gen.Generate("srv-a", v, qos.Requirement{})
+	plans := gen.GenerateAll("srv-a", v, qos.Requirement{})
 	r := NewRandom(simtime.NewRand(7))
 	out := r.Order(plans, c.Usage)
 	if len(out) != len(plans) {
@@ -227,7 +227,7 @@ func TestEfficiencyUnitGainMatchesLRB(t *testing.T) {
 	_, c := testCluster(t)
 	gen := NewGenerator(c.Dir, DefaultGeneratorConfig(c.Capacity()))
 	v, _ := c.Engine.Video(1)
-	plans := gen.Generate("srv-a", v, vcdRequirement())
+	plans := gen.GenerateAll("srv-a", v, vcdRequirement())
 	var lrb LRB
 	eff := Efficiency{Gain: UnitGain}
 	a := lrb.Order(plans, c.Usage)
@@ -243,7 +243,7 @@ func TestQualityGainPrefersRicherPlans(t *testing.T) {
 	_, c := testCluster(t)
 	gen := NewGenerator(c.Dir, DefaultGeneratorConfig(c.Capacity()))
 	v, _ := c.Engine.Video(1)
-	plans := gen.Generate("srv-a", v, qos.Requirement{MinColorDepth: 8})
+	plans := gen.GenerateAll("srv-a", v, qos.Requirement{MinColorDepth: 8})
 	eff := Efficiency{Gain: QualityGain}
 	ranked := eff.Order(plans, c.Usage)
 	top := ranked[0].Delivered.Resolution.Pixels()
@@ -493,7 +493,7 @@ func TestSingleCopyAblationShrinksSpace(t *testing.T) {
 	}
 	gen := NewGenerator(c.Dir, DefaultGeneratorConfig(c.Capacity()))
 	v, _ := c.Engine.Video(1)
-	plans := gen.Generate("srv-a", v, qos.Requirement{MinColorDepth: 8})
+	plans := gen.GenerateAll("srv-a", v, qos.Requirement{MinColorDepth: 8})
 	full, _ := testClusterPlans(t)
 	if len(plans) >= full {
 		t.Fatalf("single-copy space (%d) not smaller than full replication (%d)", len(plans), full)
@@ -505,14 +505,14 @@ func testClusterPlans(t *testing.T) (int, *Cluster) {
 	_, c := testCluster(t)
 	gen := NewGenerator(c.Dir, DefaultGeneratorConfig(c.Capacity()))
 	v, _ := c.Engine.Video(1)
-	return len(gen.Generate("srv-a", v, qos.Requirement{MinColorDepth: 8})), c
+	return len(gen.GenerateAll("srv-a", v, qos.Requirement{MinColorDepth: 8})), c
 }
 
 func TestPlanString(t *testing.T) {
 	_, c := testCluster(t)
 	gen := NewGenerator(c.Dir, DefaultGeneratorConfig(c.Capacity()))
 	v, _ := c.Engine.Video(1)
-	plans := gen.Generate("srv-b", v, qos.Requirement{Security: qos.SecurityStandard})
+	plans := gen.GenerateAll("srv-b", v, qos.Requirement{Security: qos.SecurityStandard})
 	for _, p := range plans {
 		s := p.String()
 		if s == "" {

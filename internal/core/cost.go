@@ -20,6 +20,16 @@ type CostModel interface {
 	Order(plans []*Plan, usage SiteUsage) []*Plan
 }
 
+// Coster is the incremental extension of CostModel: models that can score
+// one plan in isolation support heap-based best-first selection, so
+// admission pops the next-cheapest plan on demand instead of sorting the
+// whole candidate set. Every ranked model here implements it; Random does
+// not (its "cost" is a draw over the whole set). Order remains on every
+// model for the §5.2 full-ranking baselines.
+type Coster interface {
+	Cost(p *Plan, usage SiteUsage) float64
+}
+
 // planCost is a helper: stable sort of plans by a scalar cost.
 func sortByCost(plans []*Plan, cost func(*Plan) float64) []*Plan {
 	type scored struct {
@@ -108,17 +118,20 @@ type MinSum struct{}
 // Name returns "min-sum".
 func (MinSum) Name() string { return "min-sum" }
 
+// Cost is the summed normalized bucket demand of one plan.
+func (MinSum) Cost(p *Plan, usage SiteUsage) float64 {
+	_, dc := usage(p.DeliverySite)
+	c := p.DeliveryDemand.SumRatio(dc)
+	if p.Remote() {
+		_, sc := usage(p.Replica.Site)
+		c += p.SourceDemand.SumRatio(sc)
+	}
+	return c
+}
+
 // Order sorts ascending by summed fill contribution.
-func (MinSum) Order(plans []*Plan, usage SiteUsage) []*Plan {
-	return sortByCost(plans, func(p *Plan) float64 {
-		_, dc := usage(p.DeliverySite)
-		c := p.DeliveryDemand.SumRatio(dc)
-		if p.Remote() {
-			_, sc := usage(p.Replica.Site)
-			c += p.SourceDemand.SumRatio(sc)
-		}
-		return c
-	})
+func (m MinSum) Order(plans []*Plan, usage SiteUsage) []*Plan {
+	return sortByCost(plans, func(p *Plan) float64 { return m.Cost(p, usage) })
 }
 
 // StaticCheapest is an ablation model that ignores runtime contention
@@ -130,20 +143,23 @@ type StaticCheapest struct{}
 // Name returns "static".
 func (StaticCheapest) Name() string { return "static" }
 
-// Order sorts ascending by zero-usage fill ratio.
-func (StaticCheapest) Order(plans []*Plan, usage SiteUsage) []*Plan {
+// Cost is the plan's fill ratio against an empty site.
+func (StaticCheapest) Cost(p *Plan, usage SiteUsage) float64 {
 	var zero qos.ResourceVector
-	return sortByCost(plans, func(p *Plan) float64 {
-		_, dc := usage(p.DeliverySite)
-		c := p.DeliveryDemand.MaxFillRatio(zero, dc)
-		if p.Remote() {
-			_, sc := usage(p.Replica.Site)
-			if sf := p.SourceDemand.MaxFillRatio(zero, sc); sf > c {
-				c = sf
-			}
+	_, dc := usage(p.DeliverySite)
+	c := p.DeliveryDemand.MaxFillRatio(zero, dc)
+	if p.Remote() {
+		_, sc := usage(p.Replica.Site)
+		if sf := p.SourceDemand.MaxFillRatio(zero, sc); sf > c {
+			c = sf
 		}
-		return c
-	})
+	}
+	return c
+}
+
+// Order sorts ascending by zero-usage fill ratio.
+func (m StaticCheapest) Order(plans []*Plan, usage SiteUsage) []*Plan {
+	return sortByCost(plans, func(p *Plan) float64 { return m.Cost(p, usage) })
 }
 
 // Gain maps a plan to the benefit G of servicing the query with it,
@@ -172,18 +188,21 @@ type Efficiency struct {
 // Name returns "efficiency".
 func (Efficiency) Name() string { return "efficiency" }
 
-// Order sorts by descending E = G/C.
-func (m Efficiency) Order(plans []*Plan, usage SiteUsage) []*Plan {
+// Cost is -E = -G/C, so ascending cost order is descending efficiency.
+func (m Efficiency) Cost(p *Plan, usage SiteUsage) float64 {
 	gain := m.Gain
 	if gain == nil {
 		gain = UnitGain
 	}
 	var lrb LRB
-	return sortByCost(plans, func(p *Plan) float64 {
-		c := lrb.Cost(p, usage)
-		if c <= 0 {
-			c = 1e-12
-		}
-		return -gain(p) / c
-	})
+	c := lrb.Cost(p, usage)
+	if c <= 0 {
+		c = 1e-12
+	}
+	return -gain(p) / c
+}
+
+// Order sorts by descending E = G/C.
+func (m Efficiency) Order(plans []*Plan, usage SiteUsage) []*Plan {
+	return sortByCost(plans, func(p *Plan) float64 { return m.Cost(p, usage) })
 }

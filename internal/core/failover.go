@@ -1,0 +1,259 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"quasaq/internal/media"
+	"quasaq/internal/simtime"
+	"quasaq/internal/transport"
+)
+
+// FailoverPolicy tunes failure detection and mid-stream recovery. The zero
+// policy (immediate detection, no retries, no fallback) is usable but
+// unrealistic; DefaultFailoverPolicy models a heartbeat detector with
+// bounded exponential backoff.
+type FailoverPolicy struct {
+	// DetectionDelay models the failure detector's lag: the sim-time between
+	// a fault killing a session and the quality manager noticing.
+	DetectionDelay simtime.Time
+	// RetryBackoff is the wait before re-attempting after a recovery attempt
+	// finds no admittable plan; it doubles on each retry.
+	RetryBackoff simtime.Time
+	// MaxRetries bounds recovery retries per failure — the per-delivery
+	// failover budget. The initial attempt is not a retry.
+	MaxRetries int
+	// BestEffortFallback, when set, downgrades the delivery to an unreserved
+	// best-effort stream when no reserved plan survives the budget, instead
+	// of abandoning it.
+	BestEffortFallback bool
+}
+
+// DefaultFailoverPolicy returns a 200 ms heartbeat detector with three
+// retries backing off from 500 ms.
+func DefaultFailoverPolicy() FailoverPolicy {
+	return FailoverPolicy{
+		DetectionDelay: simtime.Seconds(0.2),
+		RetryBackoff:   simtime.Seconds(0.5),
+		MaxRetries:     3,
+	}
+}
+
+// FailoverEvent describes one concluded recovery: a successful failover, a
+// best-effort downgrade, or an abandonment.
+type FailoverEvent struct {
+	Video    media.VideoID
+	At       simtime.Time // when recovery concluded
+	FromSite string       // delivery site of the failed session
+	ToSite   string       // new delivery site ("" when abandoned)
+	Latency  simtime.Time // failure -> resumed streaming
+	Frames   float64      // frames lost during the gap
+	Attempts int          // recovery attempts consumed
+	Degraded bool         // resumed as an unreserved best-effort stream
+	Err      error        // non-nil when the delivery was abandoned
+}
+
+// EnableFailover turns on failure detection and mid-stream recovery: when
+// an admitted session loses a resource lease (node crash, link fault), the
+// manager re-runs the plan pipeline — reusing the cached candidate set,
+// filtering down sites — reserves a new lease via the composite QoS API,
+// and resumes the stream on an alternate replica from the last delivered
+// position.
+func (m *Manager) EnableFailover(p FailoverPolicy) {
+	if p.DetectionDelay < 0 || p.RetryBackoff < 0 || p.MaxRetries < 0 {
+		panic("core: negative failover policy field")
+	}
+	m.failover = &p
+}
+
+// FailoverEnabled reports whether mid-stream recovery is on.
+func (m *Manager) FailoverEnabled() bool { return m.failover != nil }
+
+// SetFailoverObserver registers fn to be called at the conclusion of every
+// recovery (success, degrade, or abandonment) — the chaos experiment's
+// metrics tap.
+func (m *Manager) SetFailoverObserver(fn func(FailoverEvent)) { m.onFailover = fn }
+
+func (m *Manager) noteFailover(ev FailoverEvent) {
+	if m.onFailover != nil {
+		m.onFailover(ev)
+	}
+}
+
+// onSourceFail handles revocation of a remote plan's relay lease: the
+// source of the stream is gone, so the delivery session — though its own
+// resources are intact — can no longer be fed. Fail it; recovery follows
+// through onSessionFail.
+func (m *Manager) onSourceFail(d *Delivery, cause error) {
+	d.sourceLease = nil // already reclaimed by the revocation
+	if d.Session != nil {
+		d.Session.Fail(cause)
+	}
+}
+
+// onSessionFail is the failure-detection entry point: an admitted session
+// died mid-stream. Without failover the delivery is abandoned immediately;
+// with it, recovery is scheduled after the detector's lag.
+func (m *Manager) onSessionFail(d *Delivery, cause error) {
+	m.cluster.sessionEnded()
+	if d.sourceLease != nil {
+		d.sourceLease.Release()
+		d.sourceLease = nil
+	}
+	m.stats.SessionFailures++
+	d.failedAt = m.cluster.Sim.Now()
+	d.failedFrom = d.Plan.DeliverySite
+	d.resumeFrom = d.Session.Position()
+	d.fpsAtFail = d.Plan.Delivered.FrameRate
+	if m.failover == nil {
+		m.abandon(d, 0, cause)
+		return
+	}
+	d.recovering = true
+	d.recoveryEv = m.cluster.Sim.Schedule(m.failover.DetectionDelay, func() {
+		m.attemptFailover(d, 1)
+	})
+}
+
+// attemptFailover is one recovery attempt: re-enter the plan pipeline at
+// the cached-candidate stage (a node transition bumped the liveness epoch,
+// so the first attempt after a fault re-enumerates once and every retry
+// hits the cache), drop plans touching down sites, and try to reserve and
+// resume best-first. Attempts that find nothing back off exponentially
+// until the per-delivery budget is spent, then degrade to best-effort or
+// abandon with ErrNoViablePlan.
+func (m *Manager) attemptFailover(d *Delivery, attempt int) {
+	d.recoveryEv = nil
+	if !d.recovering { // cancelled while waiting
+		return
+	}
+	m.stats.FailoverAttempts++
+	pol := *m.failover
+	plans := m.planCandidates(d.querySite, d.video, d.req)
+	live := m.viable(plans)
+	var lastErr error
+	if len(live) == 0 {
+		lastErr = fmt.Errorf("%w: every replica of %s is on a down site (%d plans)",
+			ErrNoViablePlan, d.video.ID, len(plans))
+	} else {
+		opts := d.opts
+		opts.StartFrame = d.resumeFrom
+		next := m.admissionOrder(live)
+		for p, ok := next(); ok; p, ok = next() {
+			if err := m.executeInto(d, p, opts); err != nil {
+				lastErr = err
+				continue
+			}
+			d.recovering = false
+			d.failovers++
+			latency := m.cluster.Sim.Now() - d.failedAt
+			lost := simtime.ToSeconds(latency) * d.fpsAtFail
+			d.framesLost += lost
+			m.stats.Failovers++
+			m.stats.FramesLostInFailover += lost
+			m.stats.FailoverLatencyTotal += latency
+			m.noteFailover(FailoverEvent{
+				Video:    d.video.ID,
+				At:       m.cluster.Sim.Now(),
+				FromSite: d.failedFrom,
+				ToSite:   p.DeliverySite,
+				Latency:  latency,
+				Frames:   lost,
+				Attempts: attempt,
+			})
+			return
+		}
+	}
+	if attempt <= pol.MaxRetries {
+		m.stats.FailoverRetries++
+		backoff := pol.RetryBackoff << (attempt - 1)
+		d.recoveryEv = m.cluster.Sim.Schedule(backoff, func() { m.attemptFailover(d, attempt+1) })
+		return
+	}
+	if pol.BestEffortFallback && m.bestEffortFallback(d, attempt) {
+		return
+	}
+	m.abandon(d, attempt, lastErr)
+}
+
+// bestEffortFallback resumes the delivery as an unreserved stream of the
+// original replica's variant from a live site hosting one — keeping the
+// viewer moving with no QoS guarantee. Reports whether it succeeded.
+func (m *Manager) bestEffortFallback(d *Delivery, attempt int) bool {
+	for _, rep := range m.cluster.Dir.Lookup(d.querySite, d.video.ID) {
+		if m.siteDown(rep.Site) {
+			continue
+		}
+		node, err := m.cluster.Node(rep.Site)
+		if err != nil {
+			continue
+		}
+		cfg := transport.Config{
+			Video:       d.video,
+			Variant:     rep.Variant,
+			Drop:        transport.DropNone,
+			TraceFrames: d.opts.TraceFrames,
+			Path:        d.opts.Path,
+			PathSeed:    d.opts.PathSeed,
+			StartFrame:  d.resumeFrom,
+		}
+		sess, err := transport.StartBestEffort(m.cluster.Sim, node, cfg, func(*transport.Session) {
+			m.cluster.sessionEnded()
+			if d.opts.OnDone != nil {
+				d.opts.OnDone(d)
+			}
+		})
+		if err != nil {
+			continue
+		}
+		m.cluster.sessionStarted()
+		d.Session = sess
+		d.recovering = false
+		d.degraded = true
+		latency := m.cluster.Sim.Now() - d.failedAt
+		lost := simtime.ToSeconds(latency) * d.fpsAtFail
+		d.framesLost += lost
+		m.stats.BestEffortFallbacks++
+		m.stats.FramesLostInFailover += lost
+		m.noteFailover(FailoverEvent{
+			Video:    d.video.ID,
+			At:       m.cluster.Sim.Now(),
+			FromSite: d.failedFrom,
+			ToSite:   rep.Site,
+			Latency:  latency,
+			Frames:   lost,
+			Attempts: attempt,
+			Degraded: true,
+		})
+		return true
+	}
+	return false
+}
+
+// abandon marks the delivery failed with a typed error — the graceful
+// rejection of an unrecoverable mid-stream fault.
+func (m *Manager) abandon(d *Delivery, attempts int, cause error) {
+	d.recovering = false
+	d.failed = true
+	switch {
+	case cause == nil:
+		d.err = fmt.Errorf("%w: delivery of %s abandoned after %d attempts",
+			ErrNoViablePlan, d.video.ID, attempts)
+	case errors.Is(cause, ErrNoViablePlan):
+		d.err = cause
+	default:
+		d.err = fmt.Errorf("%w: delivery of %s abandoned after %d attempts: %w",
+			ErrNoViablePlan, d.video.ID, attempts, cause)
+	}
+	m.stats.FailoverRejects++
+	m.noteFailover(FailoverEvent{
+		Video:    d.video.ID,
+		At:       m.cluster.Sim.Now(),
+		FromSite: d.failedFrom,
+		Attempts: attempts,
+		Err:      d.err,
+	})
+	if d.opts.OnFailed != nil {
+		d.opts.OnFailed(d, d.err)
+	}
+}

@@ -2,11 +2,9 @@ package core
 
 import (
 	"errors"
-	"fmt"
 
 	"quasaq/internal/gara"
 	"quasaq/internal/media"
-	"quasaq/internal/netsim"
 	"quasaq/internal/qos"
 	"quasaq/internal/simtime"
 	"quasaq/internal/transport"
@@ -20,7 +18,8 @@ var (
 	// combination can satisfy the requirement at all.
 	ErrNoPlan = errors.New("core: no plan satisfies the QoS requirement")
 	// ErrRejected reports that every candidate plan failed admission
-	// control: the cluster lacks resources right now.
+	// control: the cluster lacks resources right now. The wrapped error
+	// chain carries the last per-plan admission failure as the cause.
 	ErrRejected = errors.New("core: all plans rejected by admission control")
 	// ErrNoViablePlan reports that satisfying plans exist but none can run
 	// on the currently-live nodes — the graceful-rejection outcome of
@@ -131,59 +130,16 @@ type ManagerStats struct {
 	FailoverLatencyTotal simtime.Time
 }
 
-// FailoverPolicy tunes failure detection and mid-stream recovery. The zero
-// policy (immediate detection, no retries, no fallback) is usable but
-// unrealistic; DefaultFailoverPolicy models a heartbeat detector with
-// bounded exponential backoff.
-type FailoverPolicy struct {
-	// DetectionDelay models the failure detector's lag: the sim-time between
-	// a fault killing a session and the quality manager noticing.
-	DetectionDelay simtime.Time
-	// RetryBackoff is the wait before re-attempting after a recovery attempt
-	// finds no admittable plan; it doubles on each retry.
-	RetryBackoff simtime.Time
-	// MaxRetries bounds recovery retries per failure — the per-delivery
-	// failover budget. The initial attempt is not a retry.
-	MaxRetries int
-	// BestEffortFallback, when set, downgrades the delivery to an unreserved
-	// best-effort stream when no reserved plan survives the budget, instead
-	// of abandoning it.
-	BestEffortFallback bool
-}
-
-// DefaultFailoverPolicy returns a 200 ms heartbeat detector with three
-// retries backing off from 500 ms.
-func DefaultFailoverPolicy() FailoverPolicy {
-	return FailoverPolicy{
-		DetectionDelay: simtime.Seconds(0.2),
-		RetryBackoff:   simtime.Seconds(0.5),
-		MaxRetries:     3,
-	}
-}
-
-// FailoverEvent describes one concluded recovery: a successful failover, a
-// best-effort downgrade, or an abandonment.
-type FailoverEvent struct {
-	Video    media.VideoID
-	At       simtime.Time // when recovery concluded
-	FromSite string       // delivery site of the failed session
-	ToSite   string       // new delivery site ("" when abandoned)
-	Latency  simtime.Time // failure -> resumed streaming
-	Frames   float64      // frames lost during the gap
-	Attempts int          // recovery attempts consumed
-	Degraded bool         // resumed as an unreserved best-effort stream
-	Err      error        // non-nil when the delivery was abandoned
-}
-
-// Manager is the Quality Manager of §3.4: it generates plans for the
-// QoS-constrained delivery phase, ranks them with the configured cost
-// model, walks the ranking through admission control, reserves resources
-// via the composite QoS API, and starts the transport session for the
-// first admitted plan.
+// Manager is the Quality Manager of §3.4, reorganized as a staged plan
+// pipeline: enumeration (lazy, static rules — plan.go), candidate caching
+// (topology-epoch keyed — plancache.go), incremental best-first costing
+// (bestfirst.go), and admission/execution (admission.go). The recovery
+// path (failover.go) reuses the same pipeline from the cached stage down.
 type Manager struct {
 	cluster *Cluster
 	gen     *Generator
 	model   CostModel
+	cache   *PlanCache
 	stats   ManagerStats
 
 	failover   *FailoverPolicy
@@ -192,17 +148,26 @@ type Manager struct {
 
 // NewManager wires a quality manager to a cluster with a cost model.
 func NewManager(c *Cluster, model CostModel) *Manager {
-	return &Manager{
-		cluster: c,
-		gen:     NewGenerator(c.Dir, DefaultGeneratorConfig(c.Capacity())),
-		model:   model,
-	}
+	return NewManagerWithConfig(c, model, DefaultGeneratorConfig(c.Capacity()))
 }
 
 // NewManagerWithConfig allows a custom generator configuration (used by the
 // ablation benchmarks).
 func NewManagerWithConfig(c *Cluster, model CostModel, cfg GeneratorConfig) *Manager {
-	return &Manager{cluster: c, gen: NewGenerator(c.Dir, cfg), model: model}
+	m := &Manager{
+		cluster: c,
+		gen:     NewGenerator(c.Dir, cfg),
+		model:   model,
+		cache:   NewPlanCache(c.Dir),
+	}
+	// Liveness changes (CrashSite/RestoreSite, fault injection — anything
+	// that flips a node) stale the candidate cache: the static set itself
+	// is liveness-independent, but re-keying on every transition keeps the
+	// epoch rule uniform and bounds how long a post-change set survives.
+	for _, n := range c.Nodes {
+		n.Watch(func(gara.NodeEvent) { m.cache.BumpLiveness() })
+	}
+	return m
 }
 
 // Stats returns a copy of the outcome counters.
@@ -211,397 +176,11 @@ func (m *Manager) Stats() ManagerStats { return m.stats }
 // Generator exposes the plan generator (for tests and diagnostics).
 func (m *Manager) Generator() *Generator { return m.gen }
 
-// EnableFailover turns on failure detection and mid-stream recovery: when
-// an admitted session loses a resource lease (node crash, link fault), the
-// manager re-runs plan enumeration excluding down sites, reserves a new
-// lease via the composite QoS API, and resumes the stream on an alternate
-// replica from the last delivered position.
-func (m *Manager) EnableFailover(p FailoverPolicy) {
-	if p.DetectionDelay < 0 || p.RetryBackoff < 0 || p.MaxRetries < 0 {
-		panic("core: negative failover policy field")
-	}
-	m.failover = &p
-}
-
-// FailoverEnabled reports whether mid-stream recovery is on.
-func (m *Manager) FailoverEnabled() bool { return m.failover != nil }
-
-// SetFailoverObserver registers fn to be called at the conclusion of every
-// recovery (success, degrade, or abandonment) — the chaos experiment's
-// metrics tap.
-func (m *Manager) SetFailoverObserver(fn func(FailoverEvent)) { m.onFailover = fn }
-
-func (m *Manager) noteFailover(ev FailoverEvent) {
-	if m.onFailover != nil {
-		m.onFailover(ev)
-	}
-}
+// PlanCache exposes the candidate-set cache (for stats and diagnostics).
+func (m *Manager) PlanCache() *PlanCache { return m.cache }
 
 // siteDown reports whether a site's node is crashed.
 func (m *Manager) siteDown(site string) bool {
 	n, ok := m.cluster.Nodes[site]
 	return ok && n.Down()
-}
-
-// viable filters out plans touching down sites — the "plan enumeration
-// excluding the dead site" step of both admission during an outage and
-// mid-stream failover.
-func (m *Manager) viable(plans []*Plan) []*Plan {
-	out := make([]*Plan, 0, len(plans))
-	for _, p := range plans {
-		if m.siteDown(p.DeliverySite) || m.siteDown(p.Replica.Site) {
-			continue
-		}
-		out = append(out, p)
-	}
-	return out
-}
-
-// ServiceOptions tunes one Service call.
-type ServiceOptions struct {
-	// TraceFrames enables the per-frame completion trace on the session.
-	TraceFrames int
-	// Path, when set, models the server-to-client network path for
-	// client-side QoS accounting; PathSeed seeds its randomness.
-	Path     *netsim.Path
-	PathSeed int64
-	// StartFrame resumes delivery at a frame offset (renegotiation).
-	StartFrame int
-	// OnDone fires when the delivery finishes.
-	OnDone func(*Delivery)
-	// OnFailed fires when a delivery is abandoned mid-stream: its session
-	// failed and failover (if enabled) exhausted its budget without finding
-	// a viable plan. The error satisfies errors.Is(err, ErrNoViablePlan)
-	// when failover ran out of plans.
-	OnFailed func(*Delivery, error)
-}
-
-// Service runs the QoS phase for one identified video: generate, rank,
-// admit, reserve, stream. It returns the admitted delivery, or ErrNoPlan /
-// ErrRejected.
-func (m *Manager) Service(querySite string, id media.VideoID, req qos.Requirement, opts ServiceOptions) (*Delivery, error) {
-	m.stats.Queries++
-	qn, err := m.cluster.Node(querySite)
-	if err != nil {
-		return nil, err
-	}
-	if qn.Down() {
-		m.stats.NoViablePlan++
-		return nil, fmt.Errorf("core: query site %s: %w", querySite, gara.ErrNodeDown)
-	}
-	v, err := m.cluster.Engine.Video(id)
-	if err != nil {
-		return nil, err
-	}
-	plans := m.gen.Generate(querySite, v, req)
-	m.stats.PlansGenerated += uint64(len(plans))
-	if len(plans) == 0 {
-		m.stats.NoPlan++
-		return nil, fmt.Errorf("%w: %s with %s", ErrNoPlan, id, req)
-	}
-	live := m.viable(plans)
-	if len(live) == 0 {
-		m.stats.NoViablePlan++
-		return nil, fmt.Errorf("%w: every plan for %s touches a down site (%d plans)",
-			ErrNoViablePlan, id, len(plans))
-	}
-	ranked := m.model.Order(live, m.cluster.Usage)
-	if ss, ok := m.model.(singleShot); ok && ss.SingleShot() && len(ranked) > 1 {
-		ranked = ranked[:1]
-	}
-	for _, p := range ranked {
-		m.stats.PlansTried++
-		d, err := m.execute(querySite, v, req, p, opts)
-		if err == nil {
-			m.stats.Admitted++
-			return d, nil
-		}
-	}
-	m.stats.Rejected++
-	return nil, fmt.Errorf("%w: %s with %s (%d plans)", ErrRejected, id, req, len(live))
-}
-
-// execute reserves the plan's resources and starts the session for a fresh
-// delivery.
-func (m *Manager) execute(querySite string, v *media.Video, req qos.Requirement, p *Plan, opts ServiceOptions) (*Delivery, error) {
-	d := &Delivery{mgr: m, video: v, req: req, querySite: querySite, opts: opts}
-	if err := m.executeInto(d, p, opts); err != nil {
-		return nil, err
-	}
-	return d, nil
-}
-
-// executeInto reserves the plan's resources (delivery site, then source
-// site for remote plans — all or nothing) and starts the session, binding
-// it to d. It is the shared tail of admission and failover: on failover the
-// same Delivery gets a new Plan/Session in place.
-func (m *Manager) executeInto(d *Delivery, p *Plan, opts ServiceOptions) error {
-	v := d.video
-	deliveryNode, err := m.cluster.Node(p.DeliverySite)
-	if err != nil {
-		return err
-	}
-	period := simtime.Seconds(1 / p.Delivered.FrameRate)
-	lease, err := deliveryNode.Reserve(v.Title, p.DeliveryDemand, period)
-	if err != nil {
-		return err
-	}
-	var sourceLease *gara.Lease
-	if p.Remote() {
-		sourceNode, err := m.cluster.Node(p.Replica.Site)
-		if err != nil {
-			lease.Release()
-			return err
-		}
-		sourceLease, err = sourceNode.Reserve(v.Title+"-relay", p.SourceDemand, period)
-		if err != nil {
-			lease.Release()
-			return err
-		}
-	}
-	d.Plan = p
-	d.sourceLease = sourceLease
-	cfg := transport.Config{
-		Video:            v,
-		Variant:          p.DeliveredVariant,
-		Drop:             p.Drop,
-		ExtraPerFrameCPU: p.ExtraPerFrameCPU,
-		TraceFrames:      opts.TraceFrames,
-		Path:             opts.Path,
-		PathSeed:         opts.PathSeed,
-		StartFrame:       opts.StartFrame,
-	}
-	sess, err := transport.StartReserved(m.cluster.Sim, deliveryNode, cfg, lease, func(*transport.Session) {
-		m.cluster.sessionEnded()
-		if d.sourceLease != nil {
-			d.sourceLease.Release()
-			d.sourceLease = nil
-		}
-		if d.opts.OnDone != nil {
-			d.opts.OnDone(d)
-		}
-	})
-	if err != nil {
-		lease.Release()
-		if sourceLease != nil {
-			sourceLease.Release()
-		}
-		return err
-	}
-	// Failure detection: the delivery lease's revocation fails the session
-	// (wired inside StartReserved); the session's failure, and a relay
-	// lease's revocation, both land in the manager's recovery path.
-	sess.SetOnFail(func(_ *transport.Session, cause error) { m.onSessionFail(d, cause) })
-	if sourceLease != nil {
-		sourceLease.SetOnRevoke(func(cause error) { m.onSourceFail(d, cause) })
-	}
-	m.cluster.sessionStarted()
-	d.Session = sess
-	return nil
-}
-
-// onSourceFail handles revocation of a remote plan's relay lease: the
-// source of the stream is gone, so the delivery session — though its own
-// resources are intact — can no longer be fed. Fail it; recovery follows
-// through onSessionFail.
-func (m *Manager) onSourceFail(d *Delivery, cause error) {
-	d.sourceLease = nil // already reclaimed by the revocation
-	if d.Session != nil {
-		d.Session.Fail(cause)
-	}
-}
-
-// onSessionFail is the failure-detection entry point: an admitted session
-// died mid-stream. Without failover the delivery is abandoned immediately;
-// with it, recovery is scheduled after the detector's lag.
-func (m *Manager) onSessionFail(d *Delivery, cause error) {
-	m.cluster.sessionEnded()
-	if d.sourceLease != nil {
-		d.sourceLease.Release()
-		d.sourceLease = nil
-	}
-	m.stats.SessionFailures++
-	d.failedAt = m.cluster.Sim.Now()
-	d.failedFrom = d.Plan.DeliverySite
-	d.resumeFrom = d.Session.Position()
-	d.fpsAtFail = d.Plan.Delivered.FrameRate
-	if m.failover == nil {
-		m.abandon(d, 0, cause)
-		return
-	}
-	d.recovering = true
-	d.recoveryEv = m.cluster.Sim.Schedule(m.failover.DetectionDelay, func() {
-		m.attemptFailover(d, 1)
-	})
-}
-
-// attemptFailover is one recovery attempt: re-enumerate plans, drop those
-// touching down sites, and try to reserve and resume best-first. Attempts
-// that find nothing back off exponentially until the per-delivery budget is
-// spent, then degrade to best-effort or abandon with ErrNoViablePlan.
-func (m *Manager) attemptFailover(d *Delivery, attempt int) {
-	d.recoveryEv = nil
-	if !d.recovering { // cancelled while waiting
-		return
-	}
-	m.stats.FailoverAttempts++
-	pol := *m.failover
-	plans := m.gen.Generate(d.querySite, d.video, d.req)
-	live := m.viable(plans)
-	var lastErr error
-	if len(live) == 0 {
-		lastErr = fmt.Errorf("%w: every replica of %s is on a down site (%d plans)",
-			ErrNoViablePlan, d.video.ID, len(plans))
-	} else {
-		opts := d.opts
-		opts.StartFrame = d.resumeFrom
-		for _, p := range m.model.Order(live, m.cluster.Usage) {
-			if err := m.executeInto(d, p, opts); err != nil {
-				lastErr = err
-				continue
-			}
-			d.recovering = false
-			d.failovers++
-			latency := m.cluster.Sim.Now() - d.failedAt
-			lost := simtime.ToSeconds(latency) * d.fpsAtFail
-			d.framesLost += lost
-			m.stats.Failovers++
-			m.stats.FramesLostInFailover += lost
-			m.stats.FailoverLatencyTotal += latency
-			m.noteFailover(FailoverEvent{
-				Video:    d.video.ID,
-				At:       m.cluster.Sim.Now(),
-				FromSite: d.failedFrom,
-				ToSite:   p.DeliverySite,
-				Latency:  latency,
-				Frames:   lost,
-				Attempts: attempt,
-			})
-			return
-		}
-	}
-	if attempt <= pol.MaxRetries {
-		m.stats.FailoverRetries++
-		backoff := pol.RetryBackoff << (attempt - 1)
-		d.recoveryEv = m.cluster.Sim.Schedule(backoff, func() { m.attemptFailover(d, attempt+1) })
-		return
-	}
-	if pol.BestEffortFallback && m.bestEffortFallback(d, attempt) {
-		return
-	}
-	m.abandon(d, attempt, lastErr)
-}
-
-// bestEffortFallback resumes the delivery as an unreserved stream of the
-// original replica's variant from a live site hosting one — keeping the
-// viewer moving with no QoS guarantee. Reports whether it succeeded.
-func (m *Manager) bestEffortFallback(d *Delivery, attempt int) bool {
-	for _, rep := range m.cluster.Dir.Lookup(d.querySite, d.video.ID) {
-		if m.siteDown(rep.Site) {
-			continue
-		}
-		node, err := m.cluster.Node(rep.Site)
-		if err != nil {
-			continue
-		}
-		cfg := transport.Config{
-			Video:       d.video,
-			Variant:     rep.Variant,
-			Drop:        transport.DropNone,
-			TraceFrames: d.opts.TraceFrames,
-			Path:        d.opts.Path,
-			PathSeed:    d.opts.PathSeed,
-			StartFrame:  d.resumeFrom,
-		}
-		sess, err := transport.StartBestEffort(m.cluster.Sim, node, cfg, func(*transport.Session) {
-			m.cluster.sessionEnded()
-			if d.opts.OnDone != nil {
-				d.opts.OnDone(d)
-			}
-		})
-		if err != nil {
-			continue
-		}
-		m.cluster.sessionStarted()
-		d.Session = sess
-		d.recovering = false
-		d.degraded = true
-		latency := m.cluster.Sim.Now() - d.failedAt
-		lost := simtime.ToSeconds(latency) * d.fpsAtFail
-		d.framesLost += lost
-		m.stats.BestEffortFallbacks++
-		m.stats.FramesLostInFailover += lost
-		m.noteFailover(FailoverEvent{
-			Video:    d.video.ID,
-			At:       m.cluster.Sim.Now(),
-			FromSite: d.failedFrom,
-			ToSite:   rep.Site,
-			Latency:  latency,
-			Frames:   lost,
-			Attempts: attempt,
-			Degraded: true,
-		})
-		return true
-	}
-	return false
-}
-
-// abandon marks the delivery failed with a typed error — the graceful
-// rejection of an unrecoverable mid-stream fault.
-func (m *Manager) abandon(d *Delivery, attempts int, cause error) {
-	d.recovering = false
-	d.failed = true
-	switch {
-	case cause == nil:
-		d.err = fmt.Errorf("%w: delivery of %s abandoned after %d attempts",
-			ErrNoViablePlan, d.video.ID, attempts)
-	case errors.Is(cause, ErrNoViablePlan):
-		d.err = cause
-	default:
-		d.err = fmt.Errorf("%w: delivery of %s abandoned after %d attempts: %w",
-			ErrNoViablePlan, d.video.ID, attempts, cause)
-	}
-	m.stats.FailoverRejects++
-	m.noteFailover(FailoverEvent{
-		Video:    d.video.ID,
-		At:       m.cluster.Sim.Now(),
-		FromSite: d.failedFrom,
-		Attempts: attempts,
-		Err:      d.err,
-	})
-	if d.opts.OnFailed != nil {
-		d.opts.OnFailed(d, d.err)
-	}
-}
-
-// Renegotiate services the delivery's video again under a new requirement,
-// cancelling the current session first — the §3.2 renegotiation path for
-// user QoP changes during playback. Delivery resumes from the session's
-// playback position (rounded back to a GOP boundary) rather than
-// restarting. If the new requirement cannot be admitted it attempts to
-// restore a delivery at the original requirement and returns the admission
-// error alongside whatever delivery resulted.
-func (m *Manager) Renegotiate(d *Delivery, req qos.Requirement, opts ServiceOptions) (*Delivery, error) {
-	m.stats.Renegotiations++
-	if d.failed {
-		return nil, fmt.Errorf("core: renegotiate abandoned delivery: %w", d.err)
-	}
-	if opts.StartFrame == 0 {
-		if d.recovering {
-			// Mid-failover: the dead session's resume point stands in for
-			// the live playback position.
-			opts.StartFrame = d.resumeFrom
-		} else {
-			opts.StartFrame = d.Session.Position()
-		}
-	}
-	d.Cancel()
-	nd, err := m.Service(d.querySite, d.video.ID, req, opts)
-	if err == nil {
-		return nd, nil
-	}
-	if od, rerr := m.Service(d.querySite, d.video.ID, d.req, opts); rerr == nil {
-		return od, err
-	}
-	return nil, err
 }

@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"quasaq/internal/cryptoact"
 	"quasaq/internal/media"
@@ -106,9 +107,10 @@ type Generator struct {
 	dir *metadata.Directory
 	cfg GeneratorConfig
 
-	// Counters for the §5.2 overhead analysis.
-	generated uint64
-	pruned    uint64
+	// Counters for the §5.2 overhead analysis. Atomic: the plan cache's
+	// equivalence and race tests enumerate from multiple goroutines.
+	generated atomic.Uint64
+	pruned    atomic.Uint64
 }
 
 // NewGenerator creates a plan generator over the cluster's metadata.
@@ -120,21 +122,26 @@ func NewGenerator(dir *metadata.Directory, cfg GeneratorConfig) *Generator {
 }
 
 // Stats returns cumulative (plans emitted, candidates pruned).
-func (g *Generator) Stats() (generated, pruned uint64) { return g.generated, g.pruned }
+func (g *Generator) Stats() (generated, pruned uint64) {
+	return g.generated.Load(), g.pruned.Load()
+}
 
-// Generate enumerates the plans able to answer the query for video v with
-// requirement req, as seen from querySite. Static QoS rules prune the
-// space: no upscaling, no pointless encryption, no identity transcodes, no
-// plans that could never be admitted.
-func (g *Generator) Generate(querySite string, v *media.Video, req qos.Requirement) []*Plan {
+// Generate lazily enumerates the plans able to answer the query for video v
+// with requirement req, as seen from querySite, invoking yield for each
+// satisfying plan in deterministic order. Static QoS rules prune the space
+// inline: no upscaling, no pointless encryption, no identity transcodes, no
+// plans that could never be admitted. Enumeration stops early when yield
+// returns false, so downstream pruning stages compose without
+// materializing the full A1–A5 cross-product. GenerateAll is the eager
+// wrapper.
+func (g *Generator) Generate(querySite string, v *media.Video, req qos.Requirement, yield func(*Plan) bool) {
 	replicas := g.dir.Lookup(querySite, v.ID)
 	sites := g.dir.Sites()
-	var plans []*Plan
 	for _, rep := range replicas { // set A1
 		// Rule: a replica below the required minimum resolution can never
 		// satisfy the query — transcoding cannot upscale (§3.4).
 		if req.MinResolution.W > 0 && !rep.Variant.Quality.Resolution.AtLeast(req.MinResolution) {
-			g.pruned++
+			g.pruned.Add(1)
 			continue
 		}
 		deliverySites := []string{rep.Site}
@@ -152,19 +159,32 @@ func (g *Generator) Generate(querySite string, v *media.Video, req qos.Requireme
 					for _, enc := range g.encryptionChoices(req) { // set A5
 						if p := g.build(v, rep, site, delivered, target, drop, enc); p != nil {
 							if req.SatisfiedBy(p.Delivered) {
-								plans = append(plans, p)
-								g.generated++
+								g.generated.Add(1)
+								if !yield(p) {
+									return
+								}
 							} else {
-								g.pruned++
+								g.pruned.Add(1)
 							}
 						} else {
-							g.pruned++
+							g.pruned.Add(1)
 						}
 					}
 				}
 			}
 		}
 	}
+}
+
+// GenerateAll eagerly materializes the full satisfying plan set — the
+// seed's original behavior, kept for tests, baselines, and the cache-fill
+// path of the staged pipeline.
+func (g *Generator) GenerateAll(querySite string, v *media.Video, req qos.Requirement) []*Plan {
+	var plans []*Plan
+	g.Generate(querySite, v, req, func(p *Plan) bool {
+		plans = append(plans, p)
+		return true
+	})
 	return plans
 }
 

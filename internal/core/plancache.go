@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"quasaq/internal/media"
+	"quasaq/internal/metadata"
+	"quasaq/internal/qos"
+)
+
+// PlanCache memoizes static candidate sets — the output of plan
+// enumeration and static pruning — per (query site, video, requirement).
+// This realizes the static/dynamic rule split of §3.4 as a pipeline stage
+// boundary: everything upstream of the cache (the A1–A5 cross-product and
+// the static pruning rules) depends only on the replica topology and the
+// requirement, so it is computed once; everything downstream (liveness
+// filtering, runtime costing, admission) depends on current system status
+// and runs per query against the cached set.
+//
+// Entries are validated against two epochs at lookup time:
+//
+//   - the metadata Directory's topology epoch, which advances on every
+//     replica or site change (offline replication, dynamic replication,
+//     store registration, metadata-cache toggles);
+//   - the cache's own liveness epoch, which the quality manager advances on
+//     every node crash/restart (CrashSite, RestoreSite, fault injection) via
+//     gara node watchers.
+//
+// A stale entry counts as an invalidation plus a miss and is re-filled, so
+// failover re-planning after a crash re-enumerates exactly once and every
+// subsequent retry — and every repeated workload query — skips enumeration
+// entirely.
+type PlanCache struct {
+	dir *metadata.Directory
+
+	mu      sync.Mutex
+	entries map[planCacheKey]*planCacheEntry
+
+	liveEpoch     atomic.Uint64
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+// planCacheKey is the comparable form of (querySite, video, requirement).
+// qos.Requirement itself carries a Formats slice, so the formats are
+// canonicalized into a string of format bytes in declaration order.
+type planCacheKey struct {
+	site    string
+	video   media.VideoID
+	minRes  qos.Resolution
+	maxRes  qos.Resolution
+	depth   int
+	minFPS  float64
+	maxFPS  float64
+	formats string
+	sec     qos.SecurityLevel
+}
+
+type planCacheEntry struct {
+	plans     []*Plan
+	dirEpoch  uint64
+	liveEpoch uint64
+}
+
+func newPlanCacheKey(site string, id media.VideoID, req qos.Requirement) planCacheKey {
+	k := planCacheKey{
+		site:   site,
+		video:  id,
+		minRes: req.MinResolution,
+		maxRes: req.MaxResolution,
+		depth:  req.MinColorDepth,
+		minFPS: req.MinFrameRate,
+		maxFPS: req.MaxFrameRate,
+		sec:    req.Security,
+	}
+	if len(req.Formats) > 0 {
+		b := make([]byte, len(req.Formats))
+		for i, f := range req.Formats {
+			b[i] = byte(f)
+		}
+		k.formats = string(b)
+	}
+	return k
+}
+
+// PlanCacheStats counts cache outcomes for the §5.2 overhead analysis.
+type PlanCacheStats struct {
+	Hits          uint64 // lookups served from a fresh entry
+	Misses        uint64 // lookups that had to enumerate (includes stale)
+	Invalidations uint64 // stale entries evicted by an epoch mismatch
+	Entries       int    // live entries right now
+}
+
+// NewPlanCache creates an empty cache over the directory's topology epoch.
+func NewPlanCache(dir *metadata.Directory) *PlanCache {
+	return &PlanCache{dir: dir, entries: make(map[planCacheKey]*planCacheEntry)}
+}
+
+// BumpLiveness advances the liveness epoch, staling every entry. The
+// quality manager calls it from node watchers on crash/restart; tests and
+// operators may call it directly to force re-enumeration.
+func (c *PlanCache) BumpLiveness() { c.liveEpoch.Add(1) }
+
+// Get returns the cached candidate set for the key, or (nil, false) on a
+// miss. A hit requires both epochs to match; a mismatch evicts the entry
+// and reports a miss.
+func (c *PlanCache) Get(site string, id media.VideoID, req qos.Requirement) ([]*Plan, bool) {
+	key := newPlanCacheKey(site, id, req)
+	dirEpoch := c.dir.Epoch()
+	liveEpoch := c.liveEpoch.Load()
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok && (e.dirEpoch != dirEpoch || e.liveEpoch != liveEpoch) {
+		delete(c.entries, key)
+		ok = false
+		c.invalidations.Add(1)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e.plans, true
+}
+
+// Put stores a candidate set under the current epochs. Callers must not
+// mutate the slice afterwards; the admission pipeline treats cached plans
+// as immutable.
+func (c *PlanCache) Put(site string, id media.VideoID, req qos.Requirement, plans []*Plan) {
+	key := newPlanCacheKey(site, id, req)
+	e := &planCacheEntry{plans: plans, dirEpoch: c.dir.Epoch(), liveEpoch: c.liveEpoch.Load()}
+	c.mu.Lock()
+	c.entries[key] = e
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *PlanCache) Stats() PlanCacheStats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return PlanCacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+		Entries:       n,
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"quasaq/internal/media"
+	"quasaq/internal/qos"
+	"quasaq/internal/replication"
+	"quasaq/internal/simtime"
+)
+
+// BenchmarkPlanPhase measures the query-side plan phase of the staged
+// pipeline — candidate set, liveness filter, best-first pop — cold (every
+// iteration re-enumerates after an epoch bump) versus warm (served from
+// the candidate cache). `make bench` records the pair in
+// BENCH_plan_phase.json; the warm path must be measurably faster.
+func BenchmarkPlanPhase(b *testing.B) {
+	setup := func(b *testing.B) (*Manager, *media.Video, qos.Requirement) {
+		b.Helper()
+		sim := simtime.NewSimulator()
+		c := TestbedCluster(sim)
+		if _, err := c.LoadCorpus(media.StandardCorpus(42), replication.DefaultPolicy()); err != nil {
+			b.Fatal(err)
+		}
+		m := NewManager(c, LRB{})
+		v, err := c.Engine.Video(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m, v, qos.Requirement{MinColorDepth: 8} // loose band: big space
+	}
+	phase := func(m *Manager, v *media.Video, req qos.Requirement) *Plan {
+		live := m.viable(m.planCandidates("srv-a", v, req))
+		p, _ := m.admissionOrder(live)()
+		return p
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		m, v, req := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.PlanCache().BumpLiveness() // stale the entry: full re-enumeration
+			if phase(m, v, req) == nil {
+				b.Fatal("no plan")
+			}
+		}
+		b.ReportMetric(float64(m.PlanCache().Stats().Invalidations)/float64(b.N), "invalidations/op")
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		m, v, req := setup(b)
+		phase(m, v, req) // prime the cache
+		genBefore, _ := m.Generator().Stats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if phase(m, v, req) == nil {
+				b.Fatal("no plan")
+			}
+		}
+		b.StopTimer()
+		if genAfter, _ := m.Generator().Stats(); genAfter != genBefore {
+			b.Fatalf("warm path enumerated plans: %d -> %d", genBefore, genAfter)
+		}
+		b.ReportMetric(float64(m.PlanCache().Stats().Hits)/float64(b.N), "cache-hits/op")
+	})
+
+	// full-sort is the seed's admission ranking (CostModel.Order) against
+	// the heap-based incremental pop, both on a warm candidate set: the
+	// O(n log n) vs O(n + k log n) split in isolation.
+	b.Run("full-sort", func(b *testing.B) {
+		m, v, req := setup(b)
+		plans := m.viable(m.planCandidates("srv-a", v, req))
+		var lrb LRB
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if lrb.Order(plans, m.cluster.Usage)[0] == nil {
+				b.Fatal("no plan")
+			}
+		}
+	})
+	b.Run("best-first-pop", func(b *testing.B) {
+		m, v, req := setup(b)
+		plans := m.viable(m.planCandidates("srv-a", v, req))
+		var lrb LRB
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if p, ok := NewBestFirst(plans, lrb, m.cluster.Usage).Next(); !ok || p == nil {
+				b.Fatal("no plan")
+			}
+		}
+	})
+}

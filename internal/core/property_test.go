@@ -51,7 +51,7 @@ func TestPropertyPlansSatisfyRequirement(t *testing.T) {
 		req := qos.Requirement(rr)
 		v := videos[i%len(videos)]
 		i++
-		for _, p := range gen.Generate("srv-a", v, req) {
+		for _, p := range gen.GenerateAll("srv-a", v, req) {
 			if !req.SatisfiedBy(p.Delivered) {
 				t.Logf("plan %s delivers %v violating %v", p, p.Delivered, req)
 				return false
@@ -88,8 +88,8 @@ func TestPropertyGenerateDeterministic(t *testing.T) {
 	c, gen := propCluster(t)
 	v := c.Engine.All()[0]
 	req := qos.Requirement{MinColorDepth: 8}
-	a := gen.Generate("srv-b", v, req)
-	b := gen.Generate("srv-b", v, req)
+	a := gen.GenerateAll("srv-b", v, req)
+	b := gen.GenerateAll("srv-b", v, req)
 	if len(a) != len(b) {
 		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
 	}
@@ -112,7 +112,7 @@ func TestPropertyLRBOrderMonotone(t *testing.T) {
 	var lrb LRB
 	if err := quick.Check(func(rr randomRequirement) bool {
 		req := qos.Requirement(rr)
-		plans := gen.Generate("srv-a", c.Engine.All()[2], req)
+		plans := gen.GenerateAll("srv-a", c.Engine.All()[2], req)
 		ranked := lrb.Order(plans, c.Usage)
 		for i := 1; i < len(ranked); i++ {
 			if lrb.Cost(ranked[i-1], c.Usage) > lrb.Cost(ranked[i], c.Usage)+1e-12 {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"quasaq/internal/media"
 	"quasaq/internal/qos"
@@ -95,6 +96,13 @@ type Directory struct {
 	remoteLookups uint64
 	cacheHits     uint64
 	cacheEnabled  bool
+
+	// epoch is the topology epoch: it advances on every replica or site
+	// change (store registration, replication invalidation, cache toggles).
+	// Consumers that memoize anything derived from the replica topology —
+	// the plan-candidate cache above all — key their entries on this value
+	// and treat a mismatch as staleness.
+	epoch atomic.Uint64
 }
 
 // NewDirectory creates a directory with caching enabled.
@@ -115,6 +123,7 @@ func (d *Directory) SetCaching(on bool) {
 	if !on {
 		d.caches = make(map[string]map[media.VideoID][]*Replica)
 	}
+	d.epoch.Add(1)
 }
 
 // AddStore registers a site's store.
@@ -125,6 +134,7 @@ func (d *Directory) AddStore(s *Store) error {
 		return fmt.Errorf("metadata: duplicate store for site %q", s.Site())
 	}
 	d.stores[s.Site()] = s
+	d.epoch.Add(1)
 	return nil
 }
 
@@ -198,7 +208,12 @@ func (d *Directory) Invalidate(id media.VideoID) {
 	for _, c := range d.caches {
 		delete(c, id)
 	}
+	d.epoch.Add(1)
 }
+
+// Epoch returns the current topology epoch. The value is opaque; only
+// equality is meaningful. Any replica/site change strictly increases it.
+func (d *Directory) Epoch() uint64 { return d.epoch.Load() }
 
 // CacheStats returns cumulative remote lookups and cache hits.
 func (d *Directory) CacheStats() (remote, hits uint64) {

@@ -466,6 +466,13 @@ type Stats struct {
 	Renegotiations uint64
 	Outstanding    int
 
+	// Plan-candidate cache counters: warm queries and failover retries are
+	// served from memoized candidate sets; invalidations count entries
+	// staled by topology or liveness epoch changes.
+	PlanCacheHits          uint64
+	PlanCacheMisses        uint64
+	PlanCacheInvalidations uint64
+
 	// Failure/failover counters (zero unless EnableFailover was called and
 	// faults occurred).
 	SessionFailures      uint64
@@ -479,6 +486,7 @@ type Stats struct {
 // Stats returns current counters.
 func (db *DB) Stats() Stats {
 	ms := db.manager.Stats()
+	cs := db.manager.PlanCache().Stats()
 	return Stats{
 		Queries:        ms.Queries,
 		Admitted:       ms.Admitted,
@@ -488,6 +496,10 @@ func (db *DB) Stats() Stats {
 		PlansGenerated: ms.PlansGenerated,
 		Renegotiations: ms.Renegotiations,
 		Outstanding:    db.cluster.OutstandingSessions(),
+
+		PlanCacheHits:          cs.Hits,
+		PlanCacheMisses:        cs.Misses,
+		PlanCacheInvalidations: cs.Invalidations,
 
 		SessionFailures:      ms.SessionFailures,
 		Failovers:            ms.Failovers,
