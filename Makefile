@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-all chaos
+.PHONY: check vet build test shuffle race bench bench-all chaos trace-demo
 
 # The full gate: what CI (and a careful human) runs before merging. The
-# race target covers the plan pipeline's atomic counters and cache.
-check: vet build race
+# race target covers the plan pipeline's atomic counters and cache; the
+# shuffle target catches inter-test state leaks.
+check: vet build race shuffle
 
 vet:
 	$(GO) vet ./...
@@ -14,6 +15,9 @@ build:
 
 test:
 	$(GO) test ./...
+
+shuffle:
+	$(GO) test -shuffle=on -count=1 ./...
 
 race:
 	$(GO) test -race ./...
@@ -29,3 +33,13 @@ bench-all:
 
 chaos:
 	$(GO) run ./cmd/qsqbench -exp chaos
+
+# Generate a Chrome trace of the chaos run and sanity-check that the
+# pipeline spans made it into the export (open trace.json in
+# chrome://tracing or ui.perfetto.dev).
+trace-demo:
+	$(GO) run ./cmd/qsqbench -exp chaos -trace trace.json -metrics metrics.json
+	@for span in plan_enumerate reserve stream failover teardown; do \
+		grep -q "\"$$span\"" trace.json || { echo "trace.json missing $$span spans" >&2; exit 1; }; \
+	done
+	@echo "trace.json OK: plan/reserve/stream/failover/teardown spans present"

@@ -14,7 +14,9 @@
 //
 // The chaos experiment accepts -faults pointing at a fault-schedule file
 // (see internal/faults for the text format); without it the canonical
-// schedule runs.
+// schedule runs. With -trace out.json it also records per-session pipeline
+// spans and writes them as Chrome trace_event JSON (open in chrome://tracing
+// or ui.perfetto.dev); -metrics out.json dumps the full metrics registry.
 //
 // Horizons are configurable; the defaults match the paper (1000 s for
 // Figure 6, 7000 s for Figure 7).
@@ -43,15 +45,17 @@ func main() {
 		chaosSecs  = flag.Float64("chaos-horizon", 600, "chaos: simulated seconds")
 		faultsFile = flag.String("faults", "", "chaos: fault-schedule file (default: canonical schedule)")
 		csvDir     = flag.String("csv", "", "also write series CSVs into this directory")
+		traceFile  = flag.String("trace", "", "chaos: write Chrome trace_event JSON of every session here")
+		metricsOut = flag.String("metrics", "", "chaos: write the metrics registry as JSON here")
 	)
 	flag.Parse()
-	if err := run(*exp, *seed, *frames, *contention, *fig6Secs, *fig7Secs, *chaosSecs, *queries, *faultsFile, *csvDir); err != nil {
+	if err := run(*exp, *seed, *frames, *contention, *fig6Secs, *fig7Secs, *chaosSecs, *queries, *faultsFile, *csvDir, *traceFile, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "qsqbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, seed int64, frames, contention int, fig6Secs, fig7Secs, chaosSecs float64, queries int, faultsFile, csvDir string) error {
+func run(exp string, seed int64, frames, contention int, fig6Secs, fig7Secs, chaosSecs float64, queries int, faultsFile, csvDir, traceFile, metricsOut string) error {
 	all := exp == "all"
 	if all || exp == "fig5" || exp == "table2" {
 		cfg := experiments.Fig5Config{Seed: seed, Frames: frames, Contention: contention}
@@ -162,6 +166,7 @@ func run(exp string, seed int64, frames, contention int, fig6Secs, fig7Secs, cha
 		cfg := experiments.DefaultChaosConfig()
 		cfg.Seed = seed
 		cfg.Horizon = simtime.Seconds(chaosSecs)
+		cfg.Trace = traceFile != ""
 		if faultsFile != "" {
 			text, err := os.ReadFile(faultsFile)
 			if err != nil {
@@ -178,6 +183,18 @@ func run(exp string, seed int64, frames, contention int, fig6Secs, fig7Secs, cha
 			return err
 		}
 		fmt.Println(experiments.FormatChaos(res))
+		if traceFile != "" {
+			if err := writeFile(traceFile, res.Trace.WriteJSON); err != nil {
+				return err
+			}
+			fmt.Println("wrote", traceFile)
+		}
+		if metricsOut != "" {
+			if err := writeFile(metricsOut, res.Metrics.WriteJSON); err != nil {
+				return err
+			}
+			fmt.Println("wrote", metricsOut)
+		}
 		if csvDir != "" {
 			path, err := experiments.SaveCSV(csvDir, "chaos.csv", func(w io.Writer) error {
 				return experiments.WriteChaosCSV(w, res)
@@ -194,4 +211,17 @@ func run(exp string, seed int64, frames, contention int, fig6Secs, fig7Secs, cha
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+// writeFile streams an exporter into path.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -6,6 +6,7 @@ import (
 	"quasaq/internal/gara"
 	"quasaq/internal/media"
 	"quasaq/internal/netsim"
+	"quasaq/internal/obs"
 	"quasaq/internal/qos"
 	"quasaq/internal/simtime"
 	"quasaq/internal/transport"
@@ -36,60 +37,90 @@ type ServiceOptions struct {
 // returns the admitted delivery, or ErrNoPlan / ErrRejected with the last
 // per-plan admission failure joined into the error chain.
 func (m *Manager) Service(querySite string, id media.VideoID, req qos.Requirement, opts ServiceOptions) (*Delivery, error) {
-	m.stats.Queries++
+	m.met.queries.Inc()
+	m.sessSeq++
+	scope := m.tracer.Scope(querySite, fmt.Sprintf("s%04d %s", m.sessSeq, id))
 	qn, err := m.cluster.Node(querySite)
 	if err != nil {
 		return nil, err
 	}
 	if qn.Down() {
-		m.stats.NoViablePlan++
+		m.met.noViablePlan.Inc()
+		scope.Instant("reject", map[string]any{"cause": "query site down"})
 		return nil, fmt.Errorf("core: query site %s: %w", querySite, gara.ErrNodeDown)
 	}
+	lookup := scope.Span("content_lookup", nil)
 	v, err := m.cluster.Engine.Video(id)
+	lookup.End()
 	if err != nil {
 		return nil, err
 	}
-	plans := m.planCandidates(querySite, v, req)
-	m.stats.PlansGenerated += uint64(len(plans))
+	enum := scope.Span("plan_enumerate", nil)
+	plans, hit := m.planCandidates(querySite, v, req)
+	enum.SetArg("cache", cacheLabel(hit))
+	enum.SetArg("plans", len(plans))
+	enum.End()
+	m.met.plansGenerated.Add(uint64(len(plans)))
 	if len(plans) == 0 {
-		m.stats.NoPlan++
+		m.met.noPlan.Inc()
+		scope.Instant("reject", map[string]any{"cause": "no plan"})
 		return nil, fmt.Errorf("%w: %s with %s", ErrNoPlan, id, req)
 	}
 	live := m.viable(plans)
 	if len(live) == 0 {
-		m.stats.NoViablePlan++
+		m.met.noViablePlan.Inc()
+		scope.Instant("reject", map[string]any{"cause": "no viable plan"})
 		return nil, fmt.Errorf("%w: every plan for %s touches a down site (%d plans)",
 			ErrNoViablePlan, id, len(plans))
 	}
-	var lastErr error
+	rank := scope.Span("cost_rank", map[string]any{"viable": len(live)})
 	next := m.admissionOrder(live)
+	rank.End()
+	var lastErr error
 	for p, ok := next(); ok; p, ok = next() {
-		m.stats.PlansTried++
-		d, err := m.execute(querySite, v, req, p, opts)
+		m.met.plansTried.Inc()
+		rsv := scope.Span("reserve", map[string]any{
+			"site": p.DeliverySite, "replica": p.Replica.Site,
+		})
+		d, err := m.execute(querySite, v, req, p, opts, scope)
 		if err == nil {
-			m.stats.Admitted++
+			rsv.SetArg("outcome", "granted")
+			rsv.End()
+			m.met.admitted.Inc()
+			scope.Instant("admit", map[string]any{"site": p.DeliverySite})
 			return d, nil
 		}
+		rsv.SetArg("outcome", err.Error())
+		rsv.End()
 		lastErr = err
 	}
-	m.stats.Rejected++
+	m.met.rejected.Inc()
+	scope.Instant("reject", map[string]any{"cause": "admission control"})
 	if lastErr != nil {
 		return nil, fmt.Errorf("%w: %s with %s (%d plans): %w", ErrRejected, id, req, len(live), lastErr)
 	}
 	return nil, fmt.Errorf("%w: %s with %s (%d plans)", ErrRejected, id, req, len(live))
 }
 
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
 // planCandidates is the static stage of the pipeline: the memoized
 // candidate set for (querySite, video, requirement). A fresh cache entry
 // skips enumeration entirely; otherwise the lazy generator fills one under
-// the current topology/liveness epochs.
-func (m *Manager) planCandidates(querySite string, v *media.Video, req qos.Requirement) []*Plan {
+// the current topology/liveness epochs. The second result reports whether
+// the cache served the set (the trace's hit/miss annotation).
+func (m *Manager) planCandidates(querySite string, v *media.Video, req qos.Requirement) ([]*Plan, bool) {
 	if plans, ok := m.cache.Get(querySite, v.ID, req); ok {
-		return plans
+		return plans, true
 	}
 	plans := m.gen.GenerateAll(querySite, v, req)
 	m.cache.Put(querySite, v.ID, req, plans)
-	return plans
+	return plans, false
 }
 
 // viable filters out plans touching down sites — the "plan enumeration
@@ -139,8 +170,8 @@ func sliceIter(plans []*Plan) func() (*Plan, bool) {
 
 // execute reserves the plan's resources and starts the session for a fresh
 // delivery.
-func (m *Manager) execute(querySite string, v *media.Video, req qos.Requirement, p *Plan, opts ServiceOptions) (*Delivery, error) {
-	d := &Delivery{mgr: m, video: v, req: req, querySite: querySite, opts: opts}
+func (m *Manager) execute(querySite string, v *media.Video, req qos.Requirement, p *Plan, opts ServiceOptions, scope *obs.Scope) (*Delivery, error) {
+	d := &Delivery{mgr: m, video: v, req: req, querySite: querySite, opts: opts, trace: scope}
 	if err := m.executeInto(d, p, opts); err != nil {
 		return nil, err
 	}
@@ -186,9 +217,12 @@ func (m *Manager) executeInto(d *Delivery, p *Plan, opts ServiceOptions) error {
 		Path:             opts.Path,
 		PathSeed:         opts.PathSeed,
 		StartFrame:       opts.StartFrame,
+		Trace:            d.trace,
 	}
 	sess, err := transport.StartReserved(m.cluster.Sim, deliveryNode, cfg, lease, func(*transport.Session) {
 		m.cluster.sessionEnded()
+		d.streamSpan.End()
+		d.trace.Instant("teardown", nil)
 		if d.sourceLease != nil {
 			d.sourceLease.Release()
 			d.sourceLease = nil
@@ -213,6 +247,14 @@ func (m *Manager) executeInto(d *Delivery, p *Plan, opts ServiceOptions) error {
 	}
 	m.cluster.sessionStarted()
 	d.Session = sess
+	d.streamSpan = d.trace.Span("stream", map[string]any{
+		"site":  p.DeliverySite,
+		"video": v.Title,
+		"fps":   p.Delivered.FrameRate,
+	})
+	if p.Remote() {
+		d.streamSpan.SetArg("source", p.Replica.Site)
+	}
 	return nil
 }
 
@@ -224,7 +266,8 @@ func (m *Manager) executeInto(d *Delivery, p *Plan, opts ServiceOptions) error {
 // restore a delivery at the original requirement and returns the admission
 // error alongside whatever delivery resulted.
 func (m *Manager) Renegotiate(d *Delivery, req qos.Requirement, opts ServiceOptions) (*Delivery, error) {
-	m.stats.Renegotiations++
+	m.met.renegotiations.Inc()
+	d.trace.Instant("renegotiate", map[string]any{"req": req.String()})
 	if d.failed {
 		return nil, fmt.Errorf("core: renegotiate abandoned delivery: %w", d.err)
 	}

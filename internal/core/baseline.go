@@ -128,7 +128,7 @@ func (b *QoSAPIService) Service(querySite string, id media.VideoID, traceFrames 
 	lease, err := node.Reserve(v.Title, demand, period)
 	if err != nil {
 		b.stats.Rejected++
-		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+		return nil, fmt.Errorf("%w: %w", ErrRejected, err)
 	}
 	cfg := transport.Config{Video: v, Variant: rep.Variant, TraceFrames: traceFrames}
 	sess, err := transport.StartReserved(b.cluster.Sim, node, cfg, lease, func(s *transport.Session) {

@@ -6,6 +6,7 @@ import (
 	"quasaq/internal/gara"
 	"quasaq/internal/media"
 	"quasaq/internal/metadata"
+	"quasaq/internal/obs"
 	"quasaq/internal/qos"
 	"quasaq/internal/replication"
 	"quasaq/internal/simtime"
@@ -24,15 +25,30 @@ type Cluster struct {
 	Dir    *metadata.Directory
 	Engine *vdbms.Engine
 
+	// Obs is the cluster-wide metrics registry: every layer (gara nodes,
+	// links, CPU schedulers, transport, quality manager, plan cache)
+	// registers its counters here, so exports and DB.Stats read one source
+	// of truth.
+	Obs *obs.Registry
+
 	siteNames []string
-	active    int // live streaming sessions (delivery count, not leases)
+	mActive   *obs.Gauge   // live streaming sessions (deliveries, not leases)
+	mStarted  *obs.Counter
+	mEnded    *obs.Counter
 }
 
 // sessionStarted and sessionEnded maintain the outstanding-session count;
 // every service path (QuaSAQ, VDBMS, VDBMS+QoS API) calls them exactly once
 // per delivery.
-func (c *Cluster) sessionStarted() { c.active++ }
-func (c *Cluster) sessionEnded()   { c.active-- }
+func (c *Cluster) sessionStarted() {
+	c.mStarted.Inc()
+	c.mActive.Add(1)
+}
+
+func (c *Cluster) sessionEnded() {
+	c.mEnded.Inc()
+	c.mActive.Add(-1)
+}
 
 // NewCluster builds a cluster with the given sites, each with identical
 // capacity.
@@ -40,19 +56,26 @@ func NewCluster(sim *simtime.Simulator, sites []string, capacity gara.NodeCapaci
 	if len(sites) == 0 {
 		return nil, fmt.Errorf("core: no sites")
 	}
+	reg := obs.NewRegistry()
 	c := &Cluster{
 		Sim:       sim,
 		Nodes:     make(map[string]*gara.Node, len(sites)),
 		Blobs:     make(map[string]*storage.BlobStore, len(sites)),
 		Dir:       metadata.NewDirectory(),
 		Engine:    vdbms.NewEngine(),
+		Obs:       reg,
 		siteNames: append([]string(nil), sites...),
+		mActive:   reg.Gauge("quasaq_sessions_active"),
+		mStarted:  reg.Counter("quasaq_sessions_started_total"),
+		mEnded:    reg.Counter("quasaq_sessions_ended_total"),
 	}
 	for _, s := range sites {
 		if _, dup := c.Nodes[s]; dup {
 			return nil, fmt.Errorf("core: duplicate site %q", s)
 		}
-		c.Nodes[s] = gara.NewNode(sim, s, capacity)
+		n := gara.NewNode(sim, s, capacity)
+		n.Instrument(reg)
+		c.Nodes[s] = n
 		c.Blobs[s] = storage.NewBlobStore(0)
 	}
 	return c, nil
@@ -112,4 +135,4 @@ func (c *Cluster) Capacity() qos.ResourceVector {
 // the cluster — the "outstanding sessions" series of Figures 6a and 7a.
 // Relay leases of remote plans belong to their session and are not counted
 // separately.
-func (c *Cluster) OutstandingSessions() int { return c.active }
+func (c *Cluster) OutstandingSessions() int { return int(c.mActive.Value()) }

@@ -100,11 +100,16 @@ func (m *Manager) onSessionFail(d *Delivery, cause error) {
 		d.sourceLease.Release()
 		d.sourceLease = nil
 	}
-	m.stats.SessionFailures++
+	m.met.sessionFailures.Inc()
 	d.failedAt = m.cluster.Sim.Now()
 	d.failedFrom = d.Plan.DeliverySite
 	d.resumeFrom = d.Session.Position()
 	d.fpsAtFail = d.Plan.Delivered.FrameRate
+	d.failCause = cause
+	d.streamSpan.SetArg("outcome", "failed")
+	d.streamSpan.End()
+	d.trace.Instant("session_fail", map[string]any{"cause": fmt.Sprint(cause)})
+	d.failSpan = d.trace.Span("failover", map[string]any{"from": d.failedFrom})
 	if m.failover == nil {
 		m.abandon(d, 0, cause)
 		return
@@ -127,9 +132,10 @@ func (m *Manager) attemptFailover(d *Delivery, attempt int) {
 	if !d.recovering { // cancelled while waiting
 		return
 	}
-	m.stats.FailoverAttempts++
+	m.met.failoverAttempts.Inc()
+	d.trace.Instant("failover_attempt", map[string]any{"attempt": attempt})
 	pol := *m.failover
-	plans := m.planCandidates(d.querySite, d.video, d.req)
+	plans, hit := m.planCandidates(d.querySite, d.video, d.req)
 	live := m.viable(plans)
 	var lastErr error
 	if len(live) == 0 {
@@ -149,9 +155,15 @@ func (m *Manager) attemptFailover(d *Delivery, attempt int) {
 			latency := m.cluster.Sim.Now() - d.failedAt
 			lost := simtime.ToSeconds(latency) * d.fpsAtFail
 			d.framesLost += lost
-			m.stats.Failovers++
-			m.stats.FramesLostInFailover += lost
-			m.stats.FailoverLatencyTotal += latency
+			m.met.failovers.Inc()
+			m.met.framesLost.Add(lost)
+			m.met.failoverLatency.Add(int64(latency))
+			d.failSpan.SetArg("to", p.DeliverySite)
+			d.failSpan.SetArg("cache", cacheLabel(hit))
+			d.failSpan.SetArg("frames_lost", lost)
+			d.failSpan.SetArg("attempts", attempt)
+			d.failSpan.End()
+			d.trace.Instant("resume", map[string]any{"site": p.DeliverySite, "frame": d.resumeFrom})
 			m.noteFailover(FailoverEvent{
 				Video:    d.video.ID,
 				At:       m.cluster.Sim.Now(),
@@ -165,7 +177,7 @@ func (m *Manager) attemptFailover(d *Delivery, attempt int) {
 		}
 	}
 	if attempt <= pol.MaxRetries {
-		m.stats.FailoverRetries++
+		m.met.failoverRetries.Inc()
 		backoff := pol.RetryBackoff << (attempt - 1)
 		d.recoveryEv = m.cluster.Sim.Schedule(backoff, func() { m.attemptFailover(d, attempt+1) })
 		return
@@ -196,9 +208,12 @@ func (m *Manager) bestEffortFallback(d *Delivery, attempt int) bool {
 			Path:        d.opts.Path,
 			PathSeed:    d.opts.PathSeed,
 			StartFrame:  d.resumeFrom,
+			Trace:       d.trace,
 		}
 		sess, err := transport.StartBestEffort(m.cluster.Sim, node, cfg, func(*transport.Session) {
 			m.cluster.sessionEnded()
+			d.streamSpan.End()
+			d.trace.Instant("teardown", nil)
 			if d.opts.OnDone != nil {
 				d.opts.OnDone(d)
 			}
@@ -213,8 +228,15 @@ func (m *Manager) bestEffortFallback(d *Delivery, attempt int) bool {
 		latency := m.cluster.Sim.Now() - d.failedAt
 		lost := simtime.ToSeconds(latency) * d.fpsAtFail
 		d.framesLost += lost
-		m.stats.BestEffortFallbacks++
-		m.stats.FramesLostInFailover += lost
+		m.met.bestEffortFallbacks.Inc()
+		m.met.framesLost.Add(lost)
+		d.failSpan.SetArg("to", rep.Site)
+		d.failSpan.SetArg("degraded", true)
+		d.failSpan.End()
+		d.streamSpan = d.trace.Span("stream", map[string]any{
+			"site": rep.Site, "video": d.video.Title, "mode": "best-effort",
+		})
+		d.trace.Instant("resume", map[string]any{"site": rep.Site, "frame": d.resumeFrom})
 		m.noteFailover(FailoverEvent{
 			Video:    d.video.ID,
 			At:       m.cluster.Sim.Now(),
@@ -231,7 +253,10 @@ func (m *Manager) bestEffortFallback(d *Delivery, attempt int) bool {
 }
 
 // abandon marks the delivery failed with a typed error — the graceful
-// rejection of an unrecoverable mid-stream fault.
+// rejection of an unrecoverable mid-stream fault. The error chain carries
+// ErrNoViablePlan, the last per-attempt admission cause, and the original
+// fault that killed the session (so errors.Is finds ErrNodeDown /
+// ErrLeaseRevoked / netsim.ErrLinkDown on Delivery.Err).
 func (m *Manager) abandon(d *Delivery, attempts int, cause error) {
 	d.recovering = false
 	d.failed = true
@@ -245,7 +270,14 @@ func (m *Manager) abandon(d *Delivery, attempts int, cause error) {
 		d.err = fmt.Errorf("%w: delivery of %s abandoned after %d attempts: %w",
 			ErrNoViablePlan, d.video.ID, attempts, cause)
 	}
-	m.stats.FailoverRejects++
+	if fc := d.failCause; fc != nil && !errors.Is(d.err, fc) {
+		d.err = fmt.Errorf("%w (original fault: %w)", d.err, fc)
+	}
+	m.met.failoverRejects.Inc()
+	d.failSpan.SetArg("outcome", "abandoned")
+	d.failSpan.SetArg("attempts", attempts)
+	d.failSpan.End()
+	d.trace.Instant("abandon", map[string]any{"cause": d.err.Error()})
 	m.noteFailover(FailoverEvent{
 		Video:    d.video.ID,
 		At:       m.cluster.Sim.Now(),

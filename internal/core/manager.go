@@ -5,6 +5,7 @@ import (
 
 	"quasaq/internal/gara"
 	"quasaq/internal/media"
+	"quasaq/internal/obs"
 	"quasaq/internal/qos"
 	"quasaq/internal/simtime"
 	"quasaq/internal/transport"
@@ -51,9 +52,16 @@ type Delivery struct {
 	fpsAtFail  float64
 	failovers  int
 	framesLost float64
+	failCause  error // the fault that killed the most recent session
 	degraded   bool
 	failed     bool
 	err        error
+
+	// Tracing state (nil scopes/spans when tracing is off; all methods on
+	// them are nil-safe no-ops).
+	trace      *obs.Scope
+	streamSpan *obs.Span
+	failSpan   *obs.Span
 }
 
 // Video returns the delivered logical video.
@@ -96,6 +104,11 @@ func (d *Delivery) Cancel() {
 	if !d.Session.Done() {
 		d.mgr.cluster.sessionEnded()
 	}
+	if !d.streamSpan.Ended() {
+		d.streamSpan.SetArg("outcome", "cancelled")
+		d.streamSpan.End()
+		d.trace.Instant("cancel", nil)
+	}
 	d.Session.Cancel()
 	if d.sourceLease != nil {
 		d.sourceLease.Release()
@@ -130,6 +143,49 @@ type ManagerStats struct {
 	FailoverLatencyTotal simtime.Time
 }
 
+// managerMetrics holds the quality manager's registry-backed counters: the
+// single source of truth behind Manager.Stats. Handles are resolved once at
+// construction, so the hot path pays one atomic per outcome.
+type managerMetrics struct {
+	queries             *obs.Counter
+	admitted            *obs.Counter
+	rejected            *obs.Counter
+	noPlan              *obs.Counter
+	noViablePlan        *obs.Counter
+	plansGenerated      *obs.Counter
+	plansTried          *obs.Counter
+	renegotiations      *obs.Counter
+	sessionFailures     *obs.Counter
+	failoverAttempts    *obs.Counter
+	failovers           *obs.Counter
+	failoverRetries     *obs.Counter
+	failoverRejects     *obs.Counter
+	bestEffortFallbacks *obs.Counter
+	framesLost          *obs.FloatGauge
+	failoverLatency     *obs.Gauge // summed failure->resume time, nanoseconds
+}
+
+func newManagerMetrics(reg *obs.Registry) managerMetrics {
+	return managerMetrics{
+		queries:             reg.Counter("quasaq_queries_total"),
+		admitted:            reg.Counter("quasaq_admitted_total"),
+		rejected:            reg.Counter("quasaq_rejected_total"),
+		noPlan:              reg.Counter("quasaq_no_plan_total"),
+		noViablePlan:        reg.Counter("quasaq_no_viable_plan_total"),
+		plansGenerated:      reg.Counter("quasaq_plans_generated_total"),
+		plansTried:          reg.Counter("quasaq_plans_tried_total"),
+		renegotiations:      reg.Counter("quasaq_renegotiations_total"),
+		sessionFailures:     reg.Counter("quasaq_session_failures_total"),
+		failoverAttempts:    reg.Counter("quasaq_failover_attempts_total"),
+		failovers:           reg.Counter("quasaq_failovers_total"),
+		failoverRetries:     reg.Counter("quasaq_failover_retries_total"),
+		failoverRejects:     reg.Counter("quasaq_failover_rejects_total"),
+		bestEffortFallbacks: reg.Counter("quasaq_best_effort_fallbacks_total"),
+		framesLost:          reg.FloatGauge("quasaq_frames_lost_in_failover"),
+		failoverLatency:     reg.Gauge("quasaq_failover_latency_ns_total"),
+	}
+}
+
 // Manager is the Quality Manager of §3.4, reorganized as a staged plan
 // pipeline: enumeration (lazy, static rules — plan.go), candidate caching
 // (topology-epoch keyed — plancache.go), incremental best-first costing
@@ -140,7 +196,10 @@ type Manager struct {
 	gen     *Generator
 	model   CostModel
 	cache   *PlanCache
-	stats   ManagerStats
+	met     managerMetrics
+
+	tracer  *obs.Tracer
+	sessSeq int // session ordinal for trace thread naming
 
 	failover   *FailoverPolicy
 	onFailover func(FailoverEvent)
@@ -159,7 +218,9 @@ func NewManagerWithConfig(c *Cluster, model CostModel, cfg GeneratorConfig) *Man
 		gen:     NewGenerator(c.Dir, cfg),
 		model:   model,
 		cache:   NewPlanCache(c.Dir),
+		met:     newManagerMetrics(c.Obs),
 	}
+	m.cache.Instrument(c.Obs)
 	// Liveness changes (CrashSite/RestoreSite, fault injection — anything
 	// that flips a node) stale the candidate cache: the static set itself
 	// is liveness-independent, but re-keying on every transition keeps the
@@ -170,8 +231,42 @@ func NewManagerWithConfig(c *Cluster, model CostModel, cfg GeneratorConfig) *Man
 	return m
 }
 
-// Stats returns a copy of the outcome counters.
-func (m *Manager) Stats() ManagerStats { return m.stats }
+// Stats returns a typed view over the metrics registry's quality-manager
+// series — the same numbers WriteJSON/WriteCSV export.
+func (m *Manager) Stats() ManagerStats {
+	return ManagerStats{
+		Queries:              m.met.queries.Value(),
+		Admitted:             m.met.admitted.Value(),
+		Rejected:             m.met.rejected.Value(),
+		NoPlan:               m.met.noPlan.Value(),
+		NoViablePlan:         m.met.noViablePlan.Value(),
+		PlansGenerated:       m.met.plansGenerated.Value(),
+		PlansTried:           m.met.plansTried.Value(),
+		Renegotiations:       m.met.renegotiations.Value(),
+		SessionFailures:      m.met.sessionFailures.Value(),
+		FailoverAttempts:     m.met.failoverAttempts.Value(),
+		Failovers:            m.met.failovers.Value(),
+		FailoverRetries:      m.met.failoverRetries.Value(),
+		FailoverRejects:      m.met.failoverRejects.Value(),
+		BestEffortFallbacks:  m.met.bestEffortFallbacks.Value(),
+		FramesLostInFailover: m.met.framesLost.Value(),
+		FailoverLatencyTotal: simtime.Time(m.met.failoverLatency.Value()),
+	}
+}
+
+// Registry exposes the cluster-wide metrics registry.
+func (m *Manager) Registry() *obs.Registry { return m.cluster.Obs }
+
+// EnableTracing starts recording per-session pipeline spans on the virtual
+// clock. Idempotent; spans accumulate until exported via Tracer.
+func (m *Manager) EnableTracing() {
+	if m.tracer == nil {
+		m.tracer = obs.NewTracer(m.cluster.Sim.Now)
+	}
+}
+
+// Tracer returns the span recorder (nil until EnableTracing).
+func (m *Manager) Tracer() *obs.Tracer { return m.tracer }
 
 // Generator exposes the plan generator (for tests and diagnostics).
 func (m *Manager) Generator() *Generator { return m.gen }

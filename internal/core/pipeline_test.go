@@ -35,6 +35,12 @@ func equalStrings(a, b []string) bool {
 	return true
 }
 
+// planSet fetches the memoized candidate set, discarding the cache-hit flag.
+func planSet(m *Manager, site string, v *media.Video, req qos.Requirement) []*Plan {
+	plans, _ := m.planCandidates(site, v, req)
+	return plans
+}
+
 // drain exhausts an admission iterator into a slice.
 func drain(next func() (*Plan, bool)) []*Plan {
 	var out []*Plan
@@ -87,7 +93,7 @@ func TestPipelineGoldenEquivalence(t *testing.T) {
 				want := planStrings(eagerReference(m, refGen, refModel, site, v, req))
 
 				// Cold: first pipeline pass fills the cache.
-				cold := planStrings(drain(m.admissionOrder(m.viable(m.planCandidates(site, v, req)))))
+				cold := planStrings(drain(m.admissionOrder(m.viable(planSet(m, site, v, req)))))
 				if !equalStrings(want, cold) {
 					t.Logf("cold mismatch for %s@%s %v:\n want %v\n got %v", v.ID, site, req, want, cold)
 					return false
@@ -95,7 +101,7 @@ func TestPipelineGoldenEquivalence(t *testing.T) {
 				// Warm: a hit must do zero enumeration work and keep order.
 				genBefore, _ := m.Generator().Stats()
 				want2 := planStrings(eagerReference(m, refGen, refModel, site, v, req))
-				warm := planStrings(drain(m.admissionOrder(m.viable(m.planCandidates(site, v, req)))))
+				warm := planStrings(drain(m.admissionOrder(m.viable(planSet(m, site, v, req)))))
 				if !equalStrings(want2, warm) {
 					t.Logf("warm mismatch for %s@%s %v", v.ID, site, req)
 					return false
@@ -108,7 +114,7 @@ func TestPipelineGoldenEquivalence(t *testing.T) {
 				// re-enumeration and must reproduce the same ranking.
 				m.PlanCache().BumpLiveness()
 				want3 := planStrings(eagerReference(m, refGen, refModel, site, v, req))
-				inval := planStrings(drain(m.admissionOrder(m.viable(m.planCandidates(site, v, req)))))
+				inval := planStrings(drain(m.admissionOrder(m.viable(planSet(m, site, v, req)))))
 				if !equalStrings(want3, inval) {
 					t.Logf("post-invalidation mismatch for %s@%s %v", v.ID, site, req)
 					return false

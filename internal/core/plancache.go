@@ -6,6 +6,7 @@ import (
 
 	"quasaq/internal/media"
 	"quasaq/internal/metadata"
+	"quasaq/internal/obs"
 	"quasaq/internal/qos"
 )
 
@@ -37,10 +38,13 @@ type PlanCache struct {
 	mu      sync.Mutex
 	entries map[planCacheKey]*planCacheEntry
 
-	liveEpoch     atomic.Uint64
-	hits          atomic.Uint64
-	misses        atomic.Uint64
-	invalidations atomic.Uint64
+	liveEpoch atomic.Uint64
+
+	// Outcome counters: standalone by default so an uninstrumented cache
+	// still counts; Instrument rebinds them to registry-backed series.
+	hits          *obs.Counter
+	misses        *obs.Counter
+	invalidations *obs.Counter
 }
 
 // planCacheKey is the comparable form of (querySite, video, requirement).
@@ -95,7 +99,25 @@ type PlanCacheStats struct {
 
 // NewPlanCache creates an empty cache over the directory's topology epoch.
 func NewPlanCache(dir *metadata.Directory) *PlanCache {
-	return &PlanCache{dir: dir, entries: make(map[planCacheKey]*planCacheEntry)}
+	return &PlanCache{
+		dir:           dir,
+		entries:       make(map[planCacheKey]*planCacheEntry),
+		hits:          &obs.Counter{},
+		misses:        &obs.Counter{},
+		invalidations: &obs.Counter{},
+	}
+}
+
+// Instrument rebinds the cache's counters to registry-backed series. Call
+// at construction time, before any lookups, so no counts are stranded in
+// the standalone handles.
+func (c *PlanCache) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.hits = reg.Counter("plancache_hits_total")
+	c.misses = reg.Counter("plancache_misses_total")
+	c.invalidations = reg.Counter("plancache_invalidations_total")
 }
 
 // BumpLiveness advances the liveness epoch, staling every entry. The
@@ -115,14 +137,14 @@ func (c *PlanCache) Get(site string, id media.VideoID, req qos.Requirement) ([]*
 	if ok && (e.dirEpoch != dirEpoch || e.liveEpoch != liveEpoch) {
 		delete(c.entries, key)
 		ok = false
-		c.invalidations.Add(1)
+		c.invalidations.Inc()
 	}
 	c.mu.Unlock()
 	if !ok {
-		c.misses.Add(1)
+		c.misses.Inc()
 		return nil, false
 	}
-	c.hits.Add(1)
+	c.hits.Inc()
 	return e.plans, true
 }
 
@@ -143,9 +165,9 @@ func (c *PlanCache) Stats() PlanCacheStats {
 	n := len(c.entries)
 	c.mu.Unlock()
 	return PlanCacheStats{
-		Hits:          c.hits.Load(),
-		Misses:        c.misses.Load(),
-		Invalidations: c.invalidations.Load(),
+		Hits:          c.hits.Value(),
+		Misses:        c.misses.Value(),
+		Invalidations: c.invalidations.Value(),
 		Entries:       n,
 	}
 }

@@ -30,7 +30,7 @@ func BenchmarkPlanPhase(b *testing.B) {
 		return m, v, qos.Requirement{MinColorDepth: 8} // loose band: big space
 	}
 	phase := func(m *Manager, v *media.Video, req qos.Requirement) *Plan {
-		live := m.viable(m.planCandidates("srv-a", v, req))
+		live := m.viable(planSet(m, "srv-a", v, req))
 		p, _ := m.admissionOrder(live)()
 		return p
 	}
@@ -69,7 +69,7 @@ func BenchmarkPlanPhase(b *testing.B) {
 	// O(n log n) vs O(n + k log n) split in isolation.
 	b.Run("full-sort", func(b *testing.B) {
 		m, v, req := setup(b)
-		plans := m.viable(m.planCandidates("srv-a", v, req))
+		plans := m.viable(planSet(m, "srv-a", v, req))
 		var lrb LRB
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -80,7 +80,7 @@ func BenchmarkPlanPhase(b *testing.B) {
 	})
 	b.Run("best-first-pop", func(b *testing.B) {
 		m, v, req := setup(b)
-		plans := m.viable(m.planCandidates("srv-a", v, req))
+		plans := m.viable(planSet(m, "srv-a", v, req))
 		var lrb LRB
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

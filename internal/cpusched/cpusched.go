@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"quasaq/internal/obs"
 	"quasaq/internal/simtime"
 )
 
@@ -88,6 +89,21 @@ type CPU struct {
 	dispatches uint64
 	busy       simtime.Time
 	lastStart  simtime.Time
+
+	// Registry handles, nil (no-op) until Instrument is called.
+	mDispatches *obs.Counter
+	mPreempts   *obs.Counter
+	mRejects    *obs.Counter
+	mUtil       *obs.FloatGauge
+}
+
+// Instrument wires the scheduler's accounting onto the metrics registry
+// under the given label pairs (conventionally "site", name).
+func (c *CPU) Instrument(reg *obs.Registry, labels ...string) {
+	c.mDispatches = reg.Counter("cpusched_dispatches_total", labels...)
+	c.mPreempts = reg.Counter("cpusched_preemptions_total", labels...)
+	c.mRejects = reg.Counter("cpusched_admission_rejects_total", labels...)
+	c.mUtil = reg.FloatGauge("cpusched_reserved_utilization", labels...)
 }
 
 type running struct {
@@ -140,10 +156,12 @@ func (c *CPU) NewReservedJob(name string, period, slice simtime.Time) (*Job, err
 	}
 	u := float64(slice) / float64(period)
 	if c.util+u > c.maxUtil+1e-12 {
+		c.mRejects.Inc()
 		return nil, fmt.Errorf("%w: %.2f+%.2f > %.2f", ErrAdmission, c.util, u, c.maxUtil)
 	}
 	j := &Job{cpu: c, name: name, reserved: true, period: period, slice: slice}
 	c.util += u
+	c.mUtil.Set(c.util)
 	c.reservedJobs = append(c.reservedJobs, j)
 	return j, nil
 }
@@ -161,6 +179,7 @@ func (j *Job) Finish() {
 		if c.util < 0 {
 			c.util = 0
 		}
+		c.mUtil.Set(c.util)
 		c.reservedJobs = removeJob(c.reservedJobs, j)
 		c.readyRes = removeJob(c.readyRes, j)
 	} else {
@@ -228,6 +247,7 @@ func (c *CPU) maybePreempt() {
 	if c.cur == nil || c.cur.job.reserved || len(c.readyRes) == 0 {
 		return
 	}
+	c.mPreempts.Inc()
 	c.stopCurrent(true)
 }
 
@@ -299,6 +319,7 @@ func (c *CPU) pickEDF() *Job {
 func (c *CPU) start(j *Job, quantumEnd simtime.Time) {
 	t := j.tasks[0]
 	c.dispatches++
+	c.mDispatches.Inc()
 	r := &running{job: j, task: t, started: c.sim.Now(), quantumEnd: quantumEnd}
 	c.cur = r
 	runFor := t.remaining + c.DispatchOverhead

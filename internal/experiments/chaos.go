@@ -9,6 +9,7 @@ import (
 	"quasaq/internal/core"
 	"quasaq/internal/faults"
 	"quasaq/internal/media"
+	"quasaq/internal/obs"
 	"quasaq/internal/replication"
 	"quasaq/internal/simtime"
 	"quasaq/internal/workload"
@@ -27,6 +28,10 @@ type ChaosConfig struct {
 	Horizon  simtime.Time
 	Schedule faults.Schedule
 	Policy   core.FailoverPolicy
+	// Trace records per-session pipeline spans; export the result's Trace
+	// as Chrome trace_event JSON to see admissions, streams, and failovers
+	// on one timeline.
+	Trace bool
 }
 
 // DefaultChaosConfig crashes one replica site mid-run (restarting it
@@ -69,6 +74,8 @@ type ChaosResult struct {
 	Stats    core.ManagerStats
 	Events   []core.FailoverEvent // concluded recoveries, in sim order
 	FaultLog []faults.Record      // what the injector actually applied
+	Trace    *obs.Tracer          // non-nil when ChaosConfig.Trace was set
+	Metrics  *obs.Registry        // the run's cluster-wide metrics registry
 }
 
 // MeanFailoverLatencySeconds is the average failure-to-resume time over
@@ -104,6 +111,9 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 
 	res := &ChaosResult{}
 	mgr := core.NewManager(cluster, core.LRB{})
+	if cfg.Trace {
+		mgr.EnableTracing()
+	}
 	mgr.EnableFailover(cfg.Policy)
 	mgr.SetFailoverObserver(func(ev core.FailoverEvent) {
 		res.Events = append(res.Events, ev)
@@ -138,6 +148,8 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 
 	res.Stats = mgr.Stats()
 	res.FaultLog = in.Log()
+	res.Trace = mgr.Tracer()
+	res.Metrics = mgr.Registry()
 	return res, nil
 }
 

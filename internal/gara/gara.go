@@ -16,6 +16,7 @@ import (
 
 	"quasaq/internal/cpusched"
 	"quasaq/internal/netsim"
+	"quasaq/internal/obs"
 	"quasaq/internal/qos"
 	"quasaq/internal/simtime"
 )
@@ -88,7 +89,35 @@ type Node struct {
 
 	down     bool
 	watchers []func(NodeEvent)
+
+	// Registry handles, nil (no-op) until Instrument is called.
+	reg       *obs.Registry
+	mGranted  *obs.Counter
+	mReleased *obs.Counter
+	mRevoked  *obs.Counter
+	mCrashes  *obs.Counter
+	mRestores *obs.Counter
+	mLive     *obs.Gauge
 }
+
+// Instrument wires the node's lease accounting — and its link's and CPU
+// scheduler's counters — onto the metrics registry, labelled by site. Call
+// once at construction time.
+func (n *Node) Instrument(reg *obs.Registry) {
+	n.reg = reg
+	n.mGranted = reg.Counter("gara_leases_granted_total", "site", n.name)
+	n.mReleased = reg.Counter("gara_leases_released_total", "site", n.name)
+	n.mRevoked = reg.Counter("gara_leases_revoked_total", "site", n.name)
+	n.mCrashes = reg.Counter("gara_node_crashes_total", "site", n.name)
+	n.mRestores = reg.Counter("gara_node_restores_total", "site", n.name)
+	n.mLive = reg.Gauge("gara_leases_live", "site", n.name)
+	n.link.Instrument(reg, "site", n.name)
+	n.cpu.Instrument(reg, "site", n.name)
+}
+
+// Registry returns the metrics registry the node was instrumented with
+// (nil when uninstrumented) — the transport layer reaches it per session.
+func (n *Node) Registry() *obs.Registry { return n.reg }
 
 // NewNode creates a node with its CPU scheduler and outbound link.
 func NewNode(sim *simtime.Simulator, name string, cap NodeCapacity) *Node {
@@ -158,6 +187,7 @@ func (n *Node) Fail() {
 		return
 	}
 	n.down = true
+	n.mCrashes.Inc()
 	cause := fmt.Errorf("%w: %s crashed", ErrNodeDown, n.name)
 	for _, l := range append([]*Lease(nil), n.live...) {
 		l.Revoke(cause)
@@ -174,6 +204,7 @@ func (n *Node) Restore() {
 		return
 	}
 	n.down = false
+	n.mRestores.Inc()
 	n.link.Restore()
 	n.notify()
 }
@@ -232,7 +263,10 @@ func (n *Node) Reserve(name string, v qos.ResourceVector, period simtime.Time) (
 	if v[qos.ResNetBandwidth] > 0 {
 		r, err := n.link.Reserve(v[qos.ResNetBandwidth])
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+			// %w-wrap the specific cause (ErrLinkDown,
+			// ErrInsufficientBandwidth) so admission rejections stay
+			// diagnosable through the whole ErrRejected chain.
+			return nil, fmt.Errorf("%w: %w", ErrRejected, err)
 		}
 		// A link fault (partition or degradation) that sheds this
 		// reservation revokes the whole lease: the end-to-end guarantee is
@@ -249,13 +283,15 @@ func (n *Node) Reserve(name string, v qos.ResourceVector, period simtime.Time) (
 		job, err := n.cpu.NewReservedJob(name, period, slice)
 		if err != nil {
 			l.rollbackNet()
-			return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+			return nil, fmt.Errorf("%w: %w", ErrRejected, err)
 		}
 		l.cpuJob = job
 	}
 	n.diskUsed += v[qos.ResDiskBandwidth]
 	n.memUsed += v[qos.ResMemory]
 	n.leases++
+	n.mGranted.Inc()
+	n.mLive.Set(int64(n.leases))
 	n.live = append(n.live, l)
 	return l, nil
 }
@@ -304,6 +340,12 @@ func (l *Lease) Release() {
 		n.memUsed = 0
 	}
 	n.leases--
+	if l.revoked {
+		n.mRevoked.Inc()
+	} else {
+		n.mReleased.Inc()
+	}
+	n.mLive.Set(int64(n.leases))
 	for i, x := range n.live {
 		if x == l {
 			n.live = append(n.live[:i], n.live[i+1:]...)

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"quasaq/internal/obs"
 	"quasaq/internal/simtime"
 )
 
@@ -54,6 +55,15 @@ type Link struct {
 	watchers []func(LinkEvent)
 
 	peakReserved float64
+
+	// Registry handles, nil (no-op) until Instrument is called.
+	mReservations *obs.Counter
+	mRejects      *obs.Counter
+	mRevocations  *obs.Counter
+	mFaults       *obs.Counter
+	mReserved     *obs.FloatGauge
+	mCapacity     *obs.FloatGauge
+	mPeak         *obs.FloatGauge
 }
 
 // NewLink creates a link with the given capacity in bytes per second.
@@ -93,11 +103,35 @@ func (l *Link) notify() {
 	}
 }
 
+// Instrument wires the link's accounting onto the metrics registry under
+// the given label pairs (conventionally "site", name). Call once at
+// construction time, before traffic flows.
+func (l *Link) Instrument(reg *obs.Registry, labels ...string) {
+	l.mReservations = reg.Counter("netsim_reservations_total", labels...)
+	l.mRejects = reg.Counter("netsim_reservation_rejects_total", labels...)
+	l.mRevocations = reg.Counter("netsim_reservation_revocations_total", labels...)
+	l.mFaults = reg.Counter("netsim_link_faults_total", labels...)
+	l.mReserved = reg.FloatGauge("netsim_reserved_bytes", labels...)
+	l.mCapacity = reg.FloatGauge("netsim_capacity_bytes", labels...)
+	l.mPeak = reg.FloatGauge("netsim_peak_reserved_bytes", labels...)
+	l.mCapacity.Set(l.capacity)
+}
+
 // Reserved returns the total currently reserved bandwidth.
 func (l *Link) Reserved() float64 { return l.reserved }
 
-// Available returns capacity not held by reservations.
-func (l *Link) Available() float64 { return l.capacity - l.reserved }
+// Available returns capacity not held by reservations, clamped at zero:
+// a degradation below the reserved total (reservations are shed
+// newest-first, but revocation callbacks observe the link mid-shed) must
+// read as "no headroom", never as negative headroom that would corrupt
+// downstream cost and admission arithmetic.
+func (l *Link) Available() float64 {
+	a := l.capacity - l.reserved
+	if a < 0 {
+		return 0
+	}
+	return a
+}
 
 // PeakReserved returns the high-water mark of reserved bandwidth.
 func (l *Link) PeakReserved() float64 { return l.peakReserved }
@@ -141,6 +175,7 @@ func (r *Reservation) revoke(cause error) {
 	}
 	r.released = true
 	r.revoked = true
+	r.link.mRevocations.Inc()
 	r.link.drop(r)
 	if r.onRevoke != nil {
 		r.onRevoke(cause)
@@ -153,6 +188,7 @@ func (l *Link) drop(r *Reservation) {
 	if l.reserved < 0 {
 		l.reserved = 0
 	}
+	l.mReserved.Set(l.reserved)
 	for i, x := range l.resvs {
 		if x == r {
 			l.resvs = append(l.resvs[:i], l.resvs[i+1:]...)
@@ -168,9 +204,11 @@ func (l *Link) Reserve(rate float64) (*Reservation, error) {
 		return nil, fmt.Errorf("netsim: non-positive reservation %v", rate)
 	}
 	if l.down {
+		l.mRejects.Inc()
 		return nil, fmt.Errorf("%w: %s", ErrLinkDown, l.name)
 	}
 	if l.reserved+rate > l.capacity+1e-9 {
+		l.mRejects.Inc()
 		return nil, fmt.Errorf("%w: want %.0f, available %.0f of %.0f",
 			ErrInsufficientBandwidth, rate, l.Available(), l.capacity)
 	}
@@ -178,6 +216,9 @@ func (l *Link) Reserve(rate float64) (*Reservation, error) {
 	if l.reserved > l.peakReserved {
 		l.peakReserved = l.reserved
 	}
+	l.mReservations.Inc()
+	l.mReserved.Set(l.reserved)
+	l.mPeak.Set(l.peakReserved)
 	r := &Reservation{link: l, rate: rate}
 	l.resvs = append(l.resvs, r)
 	l.recompute()
@@ -194,6 +235,8 @@ func (l *Link) Degrade(factor float64) {
 		panic(fmt.Sprintf("netsim: degradation factor %v outside (0,1]", factor))
 	}
 	l.capacity = l.base * factor
+	l.mFaults.Inc()
+	l.mCapacity.Set(l.capacity)
 	l.shedReservations(fmt.Errorf("%w: %s degraded to %.0f B/s", ErrInsufficientBandwidth, l.name, l.capacity))
 	l.recompute()
 	l.notify()
@@ -205,6 +248,8 @@ func (l *Link) Degrade(factor float64) {
 func (l *Link) Partition() {
 	l.down = true
 	l.capacity = 0
+	l.mFaults.Inc()
+	l.mCapacity.Set(0)
 	l.shedReservations(fmt.Errorf("%w: %s partitioned", ErrLinkDown, l.name))
 	l.recompute()
 	l.notify()
@@ -215,6 +260,7 @@ func (l *Link) Partition() {
 func (l *Link) Restore() {
 	l.down = false
 	l.capacity = l.base
+	l.mCapacity.Set(l.capacity)
 	l.recompute()
 	l.notify()
 }

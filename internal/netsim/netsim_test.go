@@ -231,3 +231,50 @@ func TestNewLinkPanicsOnBadCapacity(t *testing.T) {
 	}()
 	NewLink(sim, "bad", 0)
 }
+
+// Regression: Available() used to go negative when a degradation landed
+// below the reserved total (observable from inside revocation callbacks,
+// mid-shed) — negative headroom then corrupted max-min shares and cost
+// arithmetic downstream. It must clamp at zero.
+func TestAvailableClampedUnderDegradeBelowReserved(t *testing.T) {
+	_, l := newLink(3200e3)
+	if _, err := l.Reserve(3000e3); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := l.Reserve(100e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var midShed []float64
+	r2.SetOnRevoke(func(error) {
+		// Mid-shed: capacity already degraded to 1600e3, r2 just dropped,
+		// the older reservation still holds 3000e3 > capacity. Unclamped
+		// this reads -1400e3.
+		midShed = append(midShed, l.Available())
+	})
+	peakBefore := l.PeakReserved()
+	l.Degrade(0.5) // 1600e3 capacity; sheds r2 then r1, newest-first
+	if len(midShed) != 1 {
+		t.Fatalf("revocation callbacks = %d, want 1", len(midShed))
+	}
+	if midShed[0] != 0 {
+		t.Fatalf("Available() mid-shed = %v, want 0 (clamped)", midShed[0])
+	}
+	if l.Reserved() != 0 {
+		// Both reservations shed: 3000e3 alone still exceeds 1600e3.
+		t.Fatalf("reserved after shed = %v, want 0", l.Reserved())
+	}
+	if got := l.Available(); got != l.Capacity() {
+		t.Fatalf("Available() after shed = %v, want capacity %v", got, l.Capacity())
+	}
+	if got := l.PeakReserved(); got != peakBefore {
+		t.Fatalf("PeakReserved changed across Degrade: %v, want %v (high-water mark is monotone)", got, peakBefore)
+	}
+	l.Restore()
+	if got := l.PeakReserved(); got != peakBefore {
+		t.Fatalf("PeakReserved changed across Restore: %v, want %v", got, peakBefore)
+	}
+	if got := l.Available(); got != l.Capacity() {
+		t.Fatalf("Available after restore = %v, want full capacity %v", got, l.Capacity())
+	}
+}

@@ -1,0 +1,418 @@
+// Package obs is the observability substrate of the reproduction: a
+// lock-cheap metrics registry (counters, gauges, fixed-bucket histograms
+// keyed by name+labels) and per-session span tracing on the virtual clock.
+//
+// The paper evaluates QuaSAQ entirely through per-session timelines and
+// outcome counters (Figures 5-7, the §5.2 overhead breakdown); obs gives
+// every runtime layer one shared measurement substrate instead of ad-hoc
+// per-experiment counters. Counters and gauges are atomics; histograms take
+// a short mutex per observation. Handles are nil-safe: an uninstrumented
+// component holds nil handles and every operation on them is a no-op, so
+// the hot paths carry no conditional wiring.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one. No-op on a nil counter.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. No-op on a nil counter.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (zero for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a signed integer metric that can move both ways (e.g. live
+// session count, reserved bytes, summed latencies in nanoseconds).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by delta. No-op on a nil gauge.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Set replaces the gauge value. No-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value returns the current value (zero for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// FloatGauge is a float64 metric accumulated with CAS adds (frames lost,
+// fractional loss totals).
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Add accumulates delta. No-op on a nil gauge.
+func (g *FloatGauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Set replaces the value. No-op on a nil gauge.
+func (g *FloatGauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value (zero for nil).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram buckets observations into fixed upper-bound bins plus a +Inf
+// overflow bin. Observations are mutex-guarded per histogram (the registry
+// shards by handle, so unrelated histograms never contend).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds
+	counts []uint64  // len(bounds)+1; last is +Inf
+	sum    float64
+	n      uint64
+}
+
+// Observe records one observation. No-op on a nil histogram.
+func (h *Histogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i]++
+	h.sum += x
+	h.n++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations (zero for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of observations (zero for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns bounds plus a copy of the counts.
+func (h *Histogram) snapshot() (bounds []float64, counts []uint64, sum float64, n uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bounds, append([]uint64(nil), h.counts...), h.sum, h.n
+}
+
+// DefaultLatencyBuckets covers sub-millisecond planning up to multi-second
+// failover latencies (values in milliseconds).
+var DefaultLatencyBuckets = []float64{0.1, 0.5, 1, 5, 10, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// Registry holds every metric of one database instance, keyed by
+// name+labels. Lookup is mutex-guarded and intended for wiring time;
+// components cache the returned handles and update them lock-free.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*metricSeries
+	order  []string // registration order of keys, for stable export
+}
+
+type metricSeries struct {
+	name   string
+	labels []string // k1, v1, k2, v2, ...
+	kind   string   // counter | gauge | fgauge | histogram
+	c      *Counter
+	g      *Gauge
+	f      *FloatGauge
+	h      *Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*metricSeries)}
+}
+
+func seriesKey(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for i := 0; i+1 < len(labels); i += 2 {
+		b.WriteByte('{')
+		b.WriteString(labels[i])
+		b.WriteByte('=')
+		b.WriteString(labels[i+1])
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+func (r *Registry) lookup(name, kind string, labels []string, mk func() *metricSeries) *metricSeries {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list for %s: %v", name, labels))
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.series[key]; ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", key, kind, s.kind))
+		}
+		return s
+	}
+	s := mk()
+	s.name, s.labels, s.kind = name, append([]string(nil), labels...), kind
+	r.series[key] = s
+	r.order = append(r.order, key)
+	return s
+}
+
+// Counter returns (creating on first use) the counter for name+labels.
+// Labels are alternating key, value pairs. Nil registries return nil
+// handles, whose operations are no-ops.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, "counter", labels, func() *metricSeries {
+		return &metricSeries{c: &Counter{}}
+	}).c
+}
+
+// Gauge returns (creating on first use) the integer gauge for name+labels.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, "gauge", labels, func() *metricSeries {
+		return &metricSeries{g: &Gauge{}}
+	}).g
+}
+
+// FloatGauge returns (creating on first use) the float gauge for
+// name+labels.
+func (r *Registry) FloatGauge(name string, labels ...string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, "fgauge", labels, func() *metricSeries {
+		return &metricSeries{f: &FloatGauge{}}
+	}).f
+}
+
+// Histogram returns (creating on first use) the histogram for name+labels
+// with the given ascending bucket upper bounds (a +Inf bucket is implicit).
+// Bounds are fixed at first registration.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, "histogram", labels, func() *metricSeries {
+		b := append([]float64(nil), bounds...)
+		return &metricSeries{h: &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}}
+	}).h
+}
+
+// MetricSnapshot is one exported metric point.
+type MetricSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+
+	// Counter / gauge value (unset for histograms).
+	Value float64 `json:"value"`
+
+	// Histogram payload.
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+	Sum     float64          `json:"sum,omitempty"`
+	Count   uint64           `json:"count,omitempty"`
+}
+
+// BucketSnapshot is one histogram bin: cumulative-style (Le is the upper
+// bound; the last bucket's Le is +Inf rendered as "inf").
+type BucketSnapshot struct {
+	Le    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// Snapshot returns every metric, sorted by series key for deterministic
+// export.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	keys := append([]string(nil), r.order...)
+	byKey := make(map[string]*metricSeries, len(r.series))
+	for k, s := range r.series {
+		byKey[k] = s
+	}
+	r.mu.Unlock()
+	sort.Strings(keys)
+	out := make([]MetricSnapshot, 0, len(keys))
+	for _, k := range keys {
+		s := byKey[k]
+		m := MetricSnapshot{Name: s.name, Kind: s.kind}
+		if len(s.labels) > 0 {
+			m.Labels = make(map[string]string, len(s.labels)/2)
+			for i := 0; i+1 < len(s.labels); i += 2 {
+				m.Labels[s.labels[i]] = s.labels[i+1]
+			}
+		}
+		switch s.kind {
+		case "counter":
+			m.Value = float64(s.c.Value())
+		case "gauge":
+			m.Value = float64(s.g.Value())
+		case "fgauge":
+			m.Value = s.f.Value()
+		case "histogram":
+			bounds, counts, sum, n := s.h.snapshot()
+			m.Sum, m.Count = sum, n
+			m.Buckets = make([]BucketSnapshot, len(counts))
+			for i, c := range counts {
+				le := math.Inf(1)
+				if i < len(bounds) {
+					le = bounds[i]
+				}
+				m.Buckets[i] = BucketSnapshot{Le: le, Count: c}
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// WriteJSON exports the snapshot as a JSON array.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snaps := r.Snapshot()
+	// +Inf is not valid JSON; render it as the string "inf" via a shadow type.
+	type jsonBucket struct {
+		Le    string `json:"le"`
+		Count uint64 `json:"count"`
+	}
+	type jsonMetric struct {
+		Name    string            `json:"name"`
+		Labels  map[string]string `json:"labels,omitempty"`
+		Kind    string            `json:"kind"`
+		Value   float64           `json:"value"`
+		Buckets []jsonBucket      `json:"buckets,omitempty"`
+		Sum     float64           `json:"sum,omitempty"`
+		Count   uint64            `json:"count,omitempty"`
+	}
+	out := make([]jsonMetric, len(snaps))
+	for i, m := range snaps {
+		jm := jsonMetric{Name: m.Name, Labels: m.Labels, Kind: m.Kind, Value: m.Value, Sum: m.Sum, Count: m.Count}
+		for _, b := range m.Buckets {
+			le := "inf"
+			if !math.IsInf(b.Le, 1) {
+				le = fmt.Sprintf("%g", b.Le)
+			}
+			jm.Buckets = append(jm.Buckets, jsonBucket{Le: le, Count: b.Count})
+		}
+		out[i] = jm
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteCSV exports the snapshot as tidy CSV: one row per counter/gauge, one
+// row per histogram bucket.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "name,labels,kind,le,value\n"); err != nil {
+		return err
+	}
+	for _, m := range r.Snapshot() {
+		var lbl []string
+		for k := range m.Labels {
+			lbl = append(lbl, k)
+		}
+		sort.Strings(lbl)
+		var lb strings.Builder
+		for i, k := range lbl {
+			if i > 0 {
+				lb.WriteByte(';')
+			}
+			lb.WriteString(k)
+			lb.WriteByte('=')
+			lb.WriteString(m.Labels[k])
+		}
+		if m.Kind == "histogram" {
+			for _, b := range m.Buckets {
+				le := "inf"
+				if !math.IsInf(b.Le, 1) {
+					le = fmt.Sprintf("%g", b.Le)
+				}
+				if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%d\n", m.Name, lb.String(), m.Kind, le, b.Count); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,,%g\n", m.Name, lb.String(), m.Kind, m.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"quasaq/internal/simtime"
+)
+
+func traceDoc(t *testing.T, tr *Tracer) []map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	return doc.TraceEvents
+}
+
+func eventsNamed(evs []map[string]any, name string) []map[string]any {
+	var out []map[string]any
+	for _, e := range evs {
+		if e["name"] == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestTracerSpansAndInstants(t *testing.T) {
+	sim := simtime.NewSimulator()
+	tr := NewTracer(sim.Now)
+	sc := tr.Scope("srv-a", "s0001 v1")
+
+	sp := sc.Span("plan_enumerate", map[string]any{"plans": 4})
+	sim.ScheduleAt(simtime.Seconds(2), func() {
+		sp.SetArg("cache", "miss")
+		sp.End()
+		sp.End() // idempotent
+		sc.Instant("admit", map[string]any{"site": "srv-a"})
+	})
+	sim.Run()
+
+	if !sp.Ended() {
+		t.Fatal("Ended() false after End")
+	}
+	evs := traceDoc(t, tr)
+	spans := eventsNamed(evs, "plan_enumerate")
+	if len(spans) != 1 {
+		t.Fatalf("plan_enumerate events = %d, want 1 (End must be idempotent)", len(spans))
+	}
+	e := spans[0]
+	if e["ph"] != "X" || e["ts"] != 0.0 || e["dur"] != 2e6 {
+		t.Fatalf("span event = %+v", e)
+	}
+	args := e["args"].(map[string]any)
+	if args["plans"] != 4.0 || args["cache"] != "miss" {
+		t.Fatalf("span args = %+v", args)
+	}
+	inst := eventsNamed(evs, "admit")
+	if len(inst) != 1 || inst[0]["ph"] != "i" || inst[0]["s"] != "t" || inst[0]["ts"] != 2e6 {
+		t.Fatalf("instant = %+v", inst)
+	}
+	// Process/thread metadata precedes everything else.
+	if evs[0]["ph"] != "M" || evs[1]["ph"] != "M" {
+		t.Fatalf("metadata not sorted first: %v %v", evs[0], evs[1])
+	}
+}
+
+func TestTracerExportsOpenSpansAsBegin(t *testing.T) {
+	sim := simtime.NewSimulator()
+	tr := NewTracer(sim.Now)
+	sc := tr.Scope("srv-a", "s0001 v1")
+	sc.Span("stream", map[string]any{"site": "srv-a"}) // never ended
+
+	evs := traceDoc(t, tr)
+	open := eventsNamed(evs, "stream")
+	if len(open) != 1 || open[0]["ph"] != "B" {
+		t.Fatalf("open span export = %+v, want one B event", open)
+	}
+	// Lazily-created metadata for the open span's scope must be present.
+	if len(eventsNamed(evs, "process_name")) != 1 || len(eventsNamed(evs, "thread_name")) != 1 {
+		t.Fatalf("missing pid/tid metadata for open-span scope: %+v", evs)
+	}
+	// A second export is byte-identical (the open map iteration is sorted).
+	var a, b bytes.Buffer
+	if err := tr.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("repeat exports of open spans diverge")
+	}
+}
+
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	sc := tr.Scope("p", "t")
+	if sc != nil {
+		t.Fatal("nil tracer returned a live scope")
+	}
+	sp := sc.Span("x", nil)
+	sc.Instant("y", nil)
+	sp.SetArg("k", 1)
+	sp.End()
+	if sp.Ended() {
+		t.Fatal("nil span reports ended")
+	}
+	if tr.Len() != 0 {
+		t.Fatal("nil tracer recorded events")
+	}
+	if err := tr.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteJSON on a nil tracer must error (tracing not enabled)")
+	}
+}
+
+func TestTracerSeparatesProcessesAndThreads(t *testing.T) {
+	sim := simtime.NewSimulator()
+	tr := NewTracer(sim.Now)
+	tr.Scope("srv-a", "s1").Instant("e", nil)
+	tr.Scope("srv-a", "s2").Instant("e", nil)
+	tr.Scope("srv-b", "s1").Instant("e", nil)
+
+	evs := traceDoc(t, tr)
+	type key struct{ pid, tid float64 }
+	seen := map[key]bool{}
+	for _, e := range eventsNamed(evs, "e") {
+		seen[key{e["pid"].(float64), e["tid"].(float64)}] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("pid/tid pairs = %d, want 3 distinct", len(seen))
+	}
+}

@@ -92,14 +92,17 @@ func (s *Summary) Merge(o *Summary) {
 // Sample retains every observation, supporting percentiles. Use Summary when
 // only moments are needed.
 type Sample struct {
-	xs     []float64
-	sorted bool
+	xs []float64
+	// sorted caches an order-independent copy for percentile queries; it is
+	// invalidated by Add. xs itself always keeps insertion order — Values
+	// and time-series consumers rely on it.
+	sorted []float64
 }
 
 // Add appends an observation.
 func (s *Sample) Add(x float64) {
 	s.xs = append(s.xs, x)
-	s.sorted = false
+	s.sorted = nil
 }
 
 // N returns the number of observations.
@@ -111,28 +114,30 @@ func (s *Sample) Values() []float64 { return s.xs }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) by linear
 // interpolation between closest ranks. It returns 0 for an empty sample.
+// The sample's insertion order is preserved: sorting happens on a cached
+// copy, never on the Values slice itself.
 func (s *Sample) Percentile(p float64) float64 {
 	if len(s.xs) == 0 {
 		return 0
 	}
-	if !s.sorted {
-		sort.Float64s(s.xs)
-		s.sorted = true
+	if len(s.sorted) != len(s.xs) {
+		s.sorted = append([]float64(nil), s.xs...)
+		sort.Float64s(s.sorted)
 	}
 	if p <= 0 {
-		return s.xs[0]
+		return s.sorted[0]
 	}
 	if p >= 100 {
-		return s.xs[len(s.xs)-1]
+		return s.sorted[len(s.sorted)-1]
 	}
-	rank := p / 100 * float64(len(s.xs)-1)
+	rank := p / 100 * float64(len(s.sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return s.xs[lo]
+		return s.sorted[lo]
 	}
 	frac := rank - float64(lo)
-	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+	return s.sorted[lo]*(1-frac) + s.sorted[hi]*frac
 }
 
 // Summary computes a Summary over the retained observations.

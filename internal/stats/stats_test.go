@@ -176,3 +176,73 @@ func TestTraceSummaryAndPlot(t *testing.T) {
 		t.Fatal("empty trace should render empty plot")
 	}
 }
+
+// Regression: Percentile used to sort the observation slice in place,
+// destroying the insertion order Values() promises (and that time-series
+// consumers depend on). Percentiles must sort a cached copy instead.
+func TestPercentilePreservesInsertionOrder(t *testing.T) {
+	var s Sample
+	in := []float64{5, 1, 4, 2, 3}
+	for _, x := range in {
+		s.Add(x)
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Fatalf("p50 = %v, want 3", got)
+	}
+	for i, x := range s.Values() {
+		if x != in[i] {
+			t.Fatalf("Values()[%d] = %v after Percentile, want %v (insertion order destroyed: %v)",
+				i, x, in[i], s.Values())
+		}
+	}
+	// The sorted cache must invalidate on Add.
+	s.Add(0)
+	if got := s.Percentile(0); got != 0 {
+		t.Fatalf("p0 after Add = %v, want 0 (stale sorted cache)", got)
+	}
+	if got := s.Values()[len(s.Values())-1]; got != 0 {
+		t.Fatalf("last value = %v, want 0", got)
+	}
+}
+
+func TestSummaryMergeIntoZeroValue(t *testing.T) {
+	var a Summary
+	var b Summary
+	for _, x := range []float64{-7, 3, 12} {
+		b.Add(x)
+	}
+	a.Merge(&b)
+	if a.N() != 3 || a.Min() != -7 || a.Max() != 12 {
+		t.Fatalf("merge into zero value: n=%d min=%v max=%v, want 3/-7/12", a.N(), a.Min(), a.Max())
+	}
+	if math.Abs(a.Mean()-b.Mean()) > 1e-12 || math.Abs(a.Var()-b.Var()) > 1e-12 {
+		t.Fatalf("merge into zero value changed moments: mean %v vs %v, var %v vs %v",
+			a.Mean(), b.Mean(), a.Var(), b.Var())
+	}
+	// Merging an empty summary must be a no-op, not a min/max reset to 0.
+	var empty Summary
+	a.Merge(&empty)
+	if a.N() != 3 || a.Min() != -7 || a.Max() != 12 {
+		t.Fatalf("merge of empty summary mutated receiver: %v", a.String())
+	}
+}
+
+func TestSummarySingleObservationStdDev(t *testing.T) {
+	var s Summary
+	s.Add(42)
+	if got := s.StdDev(); got != 0 {
+		t.Fatalf("single-observation stddev = %v, want 0 (n-1 denominator must not divide by zero)", got)
+	}
+	if s.Min() != 42 || s.Max() != 42 || s.Mean() != 42 {
+		t.Fatalf("single-observation summary: %v", s.String())
+	}
+}
+
+func TestSummaryStringEmpty(t *testing.T) {
+	var s Summary
+	got := (&s).String()
+	want := "n=0 mean=0.00 sd=0.00 min=0.00 max=0.00"
+	if got != want {
+		t.Fatalf("empty String() = %q, want %q", got, want)
+	}
+}

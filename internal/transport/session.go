@@ -7,6 +7,7 @@ import (
 	"quasaq/internal/gara"
 	"quasaq/internal/media"
 	"quasaq/internal/netsim"
+	"quasaq/internal/obs"
 	"quasaq/internal/qos"
 	"quasaq/internal/simtime"
 	"quasaq/internal/stats"
@@ -58,6 +59,9 @@ type Config struct {
 	// StartFrame begins delivery at the given frame index instead of 0:
 	// the resume point of a mid-playback renegotiation.
 	StartFrame int
+	// Trace, when set, receives per-GOP progress instants on the session's
+	// trace timeline (nil disables with no cost beyond a nil check).
+	Trace *obs.Scope
 }
 
 // shedBacklog is the CPU backlog (queued frame tasks) beyond which a
@@ -94,6 +98,15 @@ type Session struct {
 	trace      stats.Trace
 	framesSent int
 	bytesSent  int64
+
+	// Per-site registry handles, nil (no-op) on uninstrumented nodes.
+	mFramesSent *obs.Counter
+	mBytesSent  *obs.Counter
+	mShed       *obs.Counter
+	mLost       *obs.FloatGauge
+	mCompleted  *obs.Counter
+	mFailed     *obs.Counter
+	mCancelled  *obs.Counter
 
 	// QoS accounting: network loss accrues fractionally per GOP when the
 	// achieved link share cannot carry the GOP's bytes in its window (UDP
@@ -169,7 +182,28 @@ func newSession(sim *simtime.Simulator, node *gara.Node, cfg Config, onDone func
 	return s
 }
 
+// instrument resolves the session's per-site counters from the node's
+// registry. Called from begin, after the starter set the lease/flow so the
+// mode label is known.
+func (s *Session) instrument() {
+	reg := s.node.Registry()
+	site := s.node.Name()
+	mode := "best-effort"
+	if s.lease != nil {
+		mode = "reserved"
+	}
+	reg.Counter("transport_sessions_started_total", "site", site, "mode", mode).Inc()
+	s.mFramesSent = reg.Counter("transport_frames_sent_total", "site", site)
+	s.mBytesSent = reg.Counter("transport_bytes_sent_total", "site", site)
+	s.mShed = reg.Counter("transport_frames_shed_total", "site", site)
+	s.mLost = reg.FloatGauge("transport_frames_lost", "site", site)
+	s.mCompleted = reg.Counter("transport_sessions_completed_total", "site", site)
+	s.mFailed = reg.Counter("transport_sessions_failed_total", "site", site)
+	s.mCancelled = reg.Counter("transport_sessions_cancelled_total", "site", site)
+}
+
 func (s *Session) begin() {
+	s.instrument()
 	s.gopStart = s.sim.Now()
 	if s.cfg.StartFrame > 0 {
 		// Resume on a GOP boundary at or before the requested frame, so
@@ -240,8 +274,12 @@ func (s *Session) scheduleGOP() {
 			lossFrac := 1 - carriable/keptBytes
 			s.framesLost += lossFrac * float64(len(sends))
 			s.bytesLost += lossFrac * keptBytes
+			s.mLost.Add(lossFrac * float64(len(sends)))
 		}
 	}
+	s.cfg.Trace.Instant("gop", map[string]any{
+		"frame": first, "frames": len(sends), "bytes": int64(keptBytes),
+	})
 	// Release each kept frame at its byte-proportional position within the
 	// window, submitting its CPU work at release time.
 	var cum float64
@@ -280,6 +318,7 @@ func (s *Session) sendFrame(size int) {
 	}
 	if s.lease == nil && s.cpuJob.Backlog() >= shedBacklog {
 		s.framesShed++
+		s.mShed.Inc()
 		s.pending--
 		s.maybeFinish()
 		return
@@ -295,6 +334,8 @@ func (s *Session) frameDone(size int, at simtime.Time) {
 	s.pending--
 	s.framesSent++
 	s.bytesSent += int64(size)
+	s.mFramesSent.Inc()
+	s.mBytesSent.Add(uint64(size))
 	if s.haveDone {
 		s.delayStats.Add(simtime.ToSeconds(at-s.lastDone) * 1000)
 	}
@@ -339,6 +380,7 @@ func (s *Session) finish() {
 	}
 	s.done = true
 	s.finished = s.sim.Now()
+	s.mCompleted.Inc()
 	s.releaseResources()
 	if s.onDone != nil {
 		s.onDone(s)
@@ -371,6 +413,7 @@ func (s *Session) Cancel() {
 	s.done = true
 	s.cancelled = true
 	s.finished = s.sim.Now()
+	s.mCancelled.Inc()
 	s.releaseResources()
 }
 
@@ -392,6 +435,7 @@ func (s *Session) Fail(cause error) {
 	s.failed = true
 	s.failCause = cause
 	s.finished = s.sim.Now()
+	s.mFailed.Inc()
 	s.releaseResources()
 	if s.onFail != nil {
 		s.onFail(s, cause)

@@ -20,12 +20,14 @@ package quasaq
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"quasaq/internal/core"
 	"quasaq/internal/faults"
 	"quasaq/internal/gara"
 	"quasaq/internal/media"
 	"quasaq/internal/netsim"
+	"quasaq/internal/obs"
 	"quasaq/internal/qop"
 	"quasaq/internal/qos"
 	"quasaq/internal/replication"
@@ -75,6 +77,8 @@ type (
 	SearchResult = vdbms.Result
 	// Time is a virtual timestamp (time.Duration from simulation start).
 	Time = simtime.Time
+	// MetricSnapshot is one exported metric point from the registry.
+	MetricSnapshot = obs.MetricSnapshot
 )
 
 // Standard resolutions and QoP vocabulary, re-exported for convenience.
@@ -515,3 +519,30 @@ func (db *DB) Stats() Stats {
 func (db *DB) SiteUsage(site string) (usage, capacity ResourceVector) {
 	return db.cluster.Usage(site)
 }
+
+// EnableTracing starts recording per-session pipeline spans (content
+// lookup, plan enumeration, costing, reservation, streaming, GOP progress,
+// failover, teardown) on the virtual clock. Idempotent; spans accumulate
+// until exported with TraceExport.
+func (db *DB) EnableTracing() { db.manager.EnableTracing() }
+
+// TraceExport writes every recorded span as Chrome trace_event JSON — load
+// the output in chrome://tracing or ui.perfetto.dev. Errors unless
+// EnableTracing was called.
+func (db *DB) TraceExport(w io.Writer) error { return db.manager.Tracer().WriteJSON(w) }
+
+// TraceEventCount returns the number of trace events recorded so far (zero
+// when tracing is off).
+func (db *DB) TraceEventCount() int { return db.manager.Tracer().Len() }
+
+// MetricsSnapshot returns every registry series (quality manager, plan
+// cache, per-site gara/netsim/cpusched/transport counters) as one sorted
+// export — the superset DB.Stats is a typed view of.
+func (db *DB) MetricsSnapshot() []MetricSnapshot { return db.cluster.Obs.Snapshot() }
+
+// WriteMetricsJSON exports the full metrics registry as indented JSON.
+func (db *DB) WriteMetricsJSON(w io.Writer) error { return db.cluster.Obs.WriteJSON(w) }
+
+// WriteMetricsCSV exports the full metrics registry as tidy CSV (one row
+// per series, one per bucket for histograms).
+func (db *DB) WriteMetricsCSV(w io.Writer) error { return db.cluster.Obs.WriteCSV(w) }
