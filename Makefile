@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test shuffle race bench bench-all chaos trace-demo
+.PHONY: check vet build test shuffle race race-runner bench bench-all bench-runner chaos chaos-parallel trace-demo
 
 # The full gate: what CI (and a careful human) runs before merging. The
 # race target covers the plan pipeline's atomic counters and cache; the
@@ -22,6 +22,11 @@ shuffle:
 race:
 	$(GO) test -race ./...
 
+# Focused race gate for the parallel sweep stack: the worker pool plus the
+# hermeticity of every experiment cell it schedules.
+race-runner:
+	$(GO) test -race ./internal/runner/... ./internal/experiments/...
+
 # Plan-phase benchmarks (cold vs warm candidate cache, full sort vs
 # best-first pop), archived as a JSON artifact for diffing across PRs.
 bench:
@@ -31,8 +36,19 @@ bench:
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
+# Serial vs parallel sweep wall-clock (the Scenario/Runner speedup),
+# archived as a JSON artifact for diffing across PRs.
+bench-runner:
+	$(GO) test -run '^$$' -bench RunnerSweep -benchtime 2x ./internal/experiments | $(GO) run ./cmd/benchjson -out BENCH_runner.json
+	@cat BENCH_runner.json
+
 chaos:
 	$(GO) run ./cmd/qsqbench -exp chaos
+
+# Replica fan-out smoke: the chaos experiment swept over 4 independently
+# seeded replicas on 4 workers.
+chaos-parallel:
+	$(GO) run ./cmd/qsqbench -exp chaos -parallel 4 -replicas 4 -chaos-horizon 300
 
 # Generate a Chrome trace of the chaos run and sanity-check that the
 # pipeline spans made it into the export (open trace.json in

@@ -4,12 +4,18 @@
 // through it into BENCH_plan_phase.json).
 //
 //	go test -run '^$' -bench PlanPhase -benchmem ./internal/core | benchjson
+//
+// With -out path the document is written to that file instead of stdout
+// (and the benchmark text still streams to stdout, so a Makefile target can
+// both show and archive a run in one pipe).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -33,11 +39,18 @@ type Report struct {
 }
 
 func main() {
+	out := flag.String("out", "", "write the JSON document to this file and echo the input to stdout")
+	flag.Parse()
 	var rep Report
+	echo := io.Discard
+	if *out != "" {
+		echo = os.Stdout
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
+		fmt.Fprintln(echo, line)
 		switch {
 		case strings.HasPrefix(line, "goos:"):
 			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
@@ -57,7 +70,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

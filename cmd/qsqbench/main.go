@@ -3,14 +3,23 @@
 //
 // Usage:
 //
-//	qsqbench -exp fig5      # Figure 5: inter-frame delay panels
-//	qsqbench -exp table2    # Table 2: delay statistics
-//	qsqbench -exp fig6      # Figure 6: three-system throughput
-//	qsqbench -exp fig7      # Figure 7: LRB vs random cost model
-//	qsqbench -exp ablation  # cost-model and replication ablations
-//	qsqbench -exp overhead  # §5.2 overhead analysis
-//	qsqbench -exp chaos     # fault injection + mid-stream failover
+//	qsqbench -exp fig5       # Figure 5: inter-frame delay panels
+//	qsqbench -exp table2     # Table 2: delay statistics
+//	qsqbench -exp fig6       # Figure 6: three-system throughput
+//	qsqbench -exp fig7       # Figure 7: LRB vs random cost model
+//	qsqbench -exp throughput # full system sweep (all six systems)
+//	qsqbench -exp ablation   # cost-model and replication ablations
+//	qsqbench -exp overhead   # §5.2 overhead analysis
+//	qsqbench -exp chaos      # fault injection + mid-stream failover
 //	qsqbench -exp all
+//
+// Every experiment is a grid of hermetic (point × replica) simulation
+// cells, executed by internal/runner on a bounded worker pool: -parallel
+// caps the workers (default GOMAXPROCS), -replicas repeats every point
+// under independently derived seeds (replica 0 runs -seed itself), and the
+// output is byte-identical for any -parallel value — only the wall-clock
+// changes. `-replicas 8 -parallel 8` is how confidence intervals over many
+// seeds become cheap enough to be the default.
 //
 // The chaos experiment accepts -faults pointing at a fault-schedule file
 // (see internal/faults for the text format); without it the canonical
@@ -30,145 +39,165 @@ import (
 
 	"quasaq/internal/experiments"
 	"quasaq/internal/faults"
+	"quasaq/internal/runner"
 	"quasaq/internal/simtime"
 )
 
+// options carries every CLI knob through the experiment dispatch.
+type options struct {
+	exp        string
+	seed       int64
+	sweep      runner.Options
+	frames     int
+	contention int
+	fig6Secs   float64
+	fig7Secs   float64
+	chaosSecs  float64
+	queries    int
+	faultsFile string
+	csvDir     string
+	traceFile  string
+	metricsOut string
+}
+
 func main() {
-	var (
-		exp        = flag.String("exp", "all", "experiment: fig5|table2|fig6|fig7|ablation|dynamic|overhead|chaos|all")
-		seed       = flag.Int64("seed", 11, "workload seed")
-		frames     = flag.Int("frames", 1000, "fig5: trace length in frames")
-		contention = flag.Int("contention", 45, "fig5: competing streams at high contention")
-		fig6Secs   = flag.Float64("fig6-horizon", 1000, "fig6: simulated seconds")
-		fig7Secs   = flag.Float64("fig7-horizon", 7000, "fig7: simulated seconds")
-		queries    = flag.Int("overhead-queries", 500, "overhead: planning calls to time")
-		chaosSecs  = flag.Float64("chaos-horizon", 600, "chaos: simulated seconds")
-		faultsFile = flag.String("faults", "", "chaos: fault-schedule file (default: canonical schedule)")
-		csvDir     = flag.String("csv", "", "also write series CSVs into this directory")
-		traceFile  = flag.String("trace", "", "chaos: write Chrome trace_event JSON of every session here")
-		metricsOut = flag.String("metrics", "", "chaos: write the metrics registry as JSON here")
-	)
+	var o options
+	flag.StringVar(&o.exp, "exp", "all", "experiment: fig5|table2|fig6|fig7|throughput|ablation|dynamic|overhead|chaos|all")
+	flag.Int64Var(&o.seed, "seed", 11, "workload seed (replica 0 runs this seed itself)")
+	flag.IntVar(&o.sweep.Workers, "parallel", 0, "worker pool size for sweep cells (0 = GOMAXPROCS)")
+	flag.IntVar(&o.sweep.Replicas, "replicas", 1, "independently seeded repetitions of every sweep point")
+	flag.IntVar(&o.frames, "frames", 1000, "fig5: trace length in frames")
+	flag.IntVar(&o.contention, "contention", 45, "fig5: competing streams at high contention")
+	flag.Float64Var(&o.fig6Secs, "fig6-horizon", 1000, "fig6/throughput: simulated seconds")
+	flag.Float64Var(&o.fig7Secs, "fig7-horizon", 7000, "fig7: simulated seconds")
+	flag.IntVar(&o.queries, "overhead-queries", 500, "overhead: planning calls to time")
+	flag.Float64Var(&o.chaosSecs, "chaos-horizon", 600, "chaos: simulated seconds")
+	flag.StringVar(&o.faultsFile, "faults", "", "chaos: fault-schedule file (default: canonical schedule)")
+	flag.StringVar(&o.csvDir, "csv", "", "also write series CSVs into this directory")
+	flag.StringVar(&o.traceFile, "trace", "", "chaos: write Chrome trace_event JSON of every session here")
+	flag.StringVar(&o.metricsOut, "metrics", "", "chaos: write the metrics registry as JSON here")
 	flag.Parse()
-	if err := run(*exp, *seed, *frames, *contention, *fig6Secs, *fig7Secs, *chaosSecs, *queries, *faultsFile, *csvDir, *traceFile, *metricsOut); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "qsqbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, seed int64, frames, contention int, fig6Secs, fig7Secs, chaosSecs float64, queries int, faultsFile, csvDir, traceFile, metricsOut string) error {
-	all := exp == "all"
-	if all || exp == "fig5" || exp == "table2" {
-		cfg := experiments.Fig5Config{Seed: seed, Frames: frames, Contention: contention}
-		res, err := experiments.RunFig5(cfg)
+// saveCSV writes one table into the -csv directory when it is set.
+func saveCSV(csvDir, name string, t experiments.Table) error {
+	if csvDir == "" {
+		return nil
+	}
+	path, err := experiments.SaveCSV(csvDir, name, func(w io.Writer) error {
+		return experiments.WriteTable(w, t)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+// throughputCfg builds the fig6-style config shared by several sweeps.
+func (o options) throughputCfg() experiments.ThroughputConfig {
+	cfg := experiments.DefaultFig6Config()
+	cfg.Seed = o.seed
+	cfg.Horizon = simtime.Seconds(o.fig6Secs)
+	return cfg
+}
+
+func run(o options) error {
+	switch o.exp {
+	case "all", "fig5", "table2", "fig6", "fig7", "throughput", "ablation", "dynamic", "overhead", "chaos":
+	default:
+		return fmt.Errorf("unknown experiment %q", o.exp)
+	}
+	all := o.exp == "all"
+	if all || o.exp == "fig5" || o.exp == "table2" {
+		cfg := experiments.Fig5Config{Seed: o.seed, Frames: o.frames, Contention: o.contention}
+		res, err := experiments.RunFig5Parallel(cfg, o.sweep)
 		if err != nil {
 			return err
 		}
-		if all || exp == "fig5" {
+		if all || o.exp == "fig5" {
 			fmt.Println(experiments.FormatFig5(res))
 		}
-		if all || exp == "table2" {
+		if all || o.exp == "table2" {
 			fmt.Println(experiments.FormatTable2(experiments.Table2(res)))
 		}
-		if csvDir != "" {
-			path, err := experiments.SaveCSV(csvDir, "fig5.csv", func(w io.Writer) error {
-				return experiments.WriteFig5CSV(w, res)
-			})
-			if err != nil {
-				return err
-			}
-			fmt.Println("wrote", path)
+		if err := saveCSV(o.csvDir, "fig5.csv", experiments.Fig5Table(res)); err != nil {
+			return err
 		}
 	}
-	if all || exp == "fig6" {
-		cfg := experiments.DefaultFig6Config()
-		cfg.Seed = seed
-		cfg.Horizon = simtime.Seconds(fig6Secs)
-		series, err := experiments.RunFig6(cfg)
+	if all || o.exp == "fig6" {
+		series, err := experiments.RunFig6Parallel(o.throughputCfg(), o.sweep)
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.FormatThroughput(
-			fmt.Sprintf("Figure 6: throughput of different video database systems (%.0f s)", fig6Secs), series))
-		if csvDir != "" {
-			path, err := experiments.SaveCSV(csvDir, "fig6.csv", func(w io.Writer) error {
-				return experiments.WriteSeriesCSV(w, series)
-			})
-			if err != nil {
-				return err
-			}
-			fmt.Println("wrote", path)
+			fmt.Sprintf("Figure 6: throughput of different video database systems (%.0f s)", o.fig6Secs), series))
+		if err := saveCSV(o.csvDir, "fig6.csv", experiments.SeriesTable(series)); err != nil {
+			return err
 		}
 	}
-	if all || exp == "fig7" {
+	if all || o.exp == "fig7" {
 		cfg := experiments.DefaultFig7Config()
-		cfg.Seed = seed
-		cfg.Horizon = simtime.Seconds(fig7Secs)
-		series, err := experiments.RunFig7(cfg)
+		cfg.Seed = o.seed
+		cfg.Horizon = simtime.Seconds(o.fig7Secs)
+		series, err := experiments.RunFig7Parallel(cfg, o.sweep)
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.FormatThroughput(
-			fmt.Sprintf("Figure 7: QuaSAQ with different cost models (%.0f s)", fig7Secs), series))
-		if csvDir != "" {
-			path, err := experiments.SaveCSV(csvDir, "fig7.csv", func(w io.Writer) error {
-				return experiments.WriteSeriesCSV(w, series)
-			})
-			if err != nil {
-				return err
-			}
-			fmt.Println("wrote", path)
+			fmt.Sprintf("Figure 7: QuaSAQ with different cost models (%.0f s)", o.fig7Secs), series))
+		if err := saveCSV(o.csvDir, "fig7.csv", experiments.SeriesTable(series)); err != nil {
+			return err
 		}
 	}
-	if all || exp == "ablation" {
-		cfg := experiments.DefaultFig6Config()
-		cfg.Seed = seed
-		cfg.Horizon = simtime.Seconds(fig6Secs)
-		var series []*experiments.Series
-		for _, sys := range []experiments.SystemKind{
-			experiments.SysQuaSAQ, experiments.SysQuaSAQRandom,
-			experiments.SysQuaSAQMinSum, experiments.SysQuaSAQStatic,
-		} {
-			s, err := experiments.RunThroughput(sys, cfg)
-			if err != nil {
-				return err
-			}
-			series = append(series, s)
-		}
-		single := cfg
-		single.SingleCopy = true
-		s, err := experiments.RunThroughput(experiments.SysQuaSAQ, single)
+	if o.exp == "throughput" { // not part of -exp all: it subsumes fig6/ablation
+		series, err := experiments.RunSweep(experiments.NewThroughputScenario(o.throughputCfg()), o.sweep)
 		if err != nil {
 			return err
 		}
-		s.System = experiments.SysQuaSAQ // labelled below
-		fmt.Println(experiments.FormatThroughput("Ablations: cost models", series))
-		fmt.Printf("Single-copy replication ablation: steady outstanding %.1f (vs %.1f with the full ladder)\n",
-			s.SteadyOutstanding(), series[0].SteadyOutstanding())
+		fmt.Println(experiments.FormatThroughput(
+			fmt.Sprintf("Throughput: full system sweep (%.0f s)", o.fig6Secs), series))
+		if err := saveCSV(o.csvDir, "throughput.csv", experiments.SeriesTable(series)); err != nil {
+			return err
+		}
 	}
-	if all || exp == "dynamic" {
-		cfg := experiments.DefaultFig6Config()
-		cfg.Seed = seed
-		cfg.Horizon = simtime.Seconds(fig6Secs)
-		res, err := experiments.RunDynamicReplication(cfg)
+	if all || o.exp == "ablation" {
+		series, err := experiments.RunSweep(experiments.NewAblationScenario(o.throughputCfg()), o.sweep)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatThroughput("Ablations: cost models + single-copy replication", series))
+		fmt.Printf("Single-copy replication ablation: steady outstanding %.1f (vs %.1f with the full ladder)\n",
+			series[len(series)-1].SteadyOutstanding(), series[0].SteadyOutstanding())
+		if err := saveCSV(o.csvDir, "ablation.csv", experiments.SeriesTable(series)); err != nil {
+			return err
+		}
+	}
+	if all || o.exp == "dynamic" {
+		res, err := experiments.RunDynamicReplicationParallel(o.throughputCfg(), o.sweep)
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.FormatDynamic(res))
 	}
-	if all || exp == "overhead" {
-		res, err := experiments.RunOverhead(seed, queries)
+	if all || o.exp == "overhead" {
+		res, err := experiments.RunOverheadParallel(o.seed, o.queries, o.sweep)
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.FormatOverhead(res))
 	}
-	if all || exp == "chaos" {
+	if all || o.exp == "chaos" {
 		cfg := experiments.DefaultChaosConfig()
-		cfg.Seed = seed
-		cfg.Horizon = simtime.Seconds(chaosSecs)
-		cfg.Trace = traceFile != ""
-		if faultsFile != "" {
-			text, err := os.ReadFile(faultsFile)
+		cfg.Seed = o.seed
+		cfg.Horizon = simtime.Seconds(o.chaosSecs)
+		cfg.Trace = o.traceFile != ""
+		if o.faultsFile != "" {
+			text, err := os.ReadFile(o.faultsFile)
 			if err != nil {
 				return err
 			}
@@ -178,39 +207,28 @@ func run(exp string, seed int64, frames, contention int, fig6Secs, fig7Secs, cha
 			}
 			cfg.Schedule = sched
 		}
-		res, err := experiments.RunChaos(cfg)
+		res, err := experiments.RunChaosParallel(cfg, o.sweep)
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.FormatChaos(res))
-		if traceFile != "" {
-			if err := writeFile(traceFile, res.Trace.WriteJSON); err != nil {
+		if o.traceFile != "" {
+			if err := writeFile(o.traceFile, res.Trace.WriteJSON); err != nil {
 				return err
 			}
-			fmt.Println("wrote", traceFile)
+			fmt.Println("wrote", o.traceFile)
 		}
-		if metricsOut != "" {
-			if err := writeFile(metricsOut, res.Metrics.WriteJSON); err != nil {
+		if o.metricsOut != "" {
+			if err := writeFile(o.metricsOut, res.Metrics.WriteJSON); err != nil {
 				return err
 			}
-			fmt.Println("wrote", metricsOut)
+			fmt.Println("wrote", o.metricsOut)
 		}
-		if csvDir != "" {
-			path, err := experiments.SaveCSV(csvDir, "chaos.csv", func(w io.Writer) error {
-				return experiments.WriteChaosCSV(w, res)
-			})
-			if err != nil {
-				return err
-			}
-			fmt.Println("wrote", path)
+		if err := saveCSV(o.csvDir, "chaos.csv", experiments.ChaosTable(res)); err != nil {
+			return err
 		}
 	}
-	switch exp {
-	case "all", "fig5", "table2", "fig6", "fig7", "ablation", "dynamic", "overhead", "chaos":
-		return nil
-	default:
-		return fmt.Errorf("unknown experiment %q", exp)
-	}
+	return nil
 }
 
 // writeFile streams an exporter into path.

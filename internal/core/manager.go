@@ -143,6 +143,27 @@ type ManagerStats struct {
 	FailoverLatencyTotal simtime.Time
 }
 
+// Merge adds another manager's counters into s — the aggregation step when
+// replica runs of one experiment fold their statistics together.
+func (s *ManagerStats) Merge(o ManagerStats) {
+	s.Queries += o.Queries
+	s.Admitted += o.Admitted
+	s.Rejected += o.Rejected
+	s.NoPlan += o.NoPlan
+	s.NoViablePlan += o.NoViablePlan
+	s.PlansGenerated += o.PlansGenerated
+	s.PlansTried += o.PlansTried
+	s.Renegotiations += o.Renegotiations
+	s.SessionFailures += o.SessionFailures
+	s.FailoverAttempts += o.FailoverAttempts
+	s.Failovers += o.Failovers
+	s.FailoverRetries += o.FailoverRetries
+	s.FailoverRejects += o.FailoverRejects
+	s.BestEffortFallbacks += o.BestEffortFallbacks
+	s.FramesLostInFailover += o.FramesLostInFailover
+	s.FailoverLatencyTotal += o.FailoverLatencyTotal
+}
+
 // managerMetrics holds the quality manager's registry-backed counters: the
 // single source of truth behind Manager.Stats. Handles are resolved once at
 // construction, so the hot path pays one atomic per outcome.

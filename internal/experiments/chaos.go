@@ -2,8 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"io"
-	"strconv"
 	"strings"
 
 	"quasaq/internal/core"
@@ -72,10 +70,40 @@ type ChaosResult struct {
 	Abandoned int // admitted but lost to faults beyond recovery
 
 	Stats    core.ManagerStats
-	Events   []core.FailoverEvent // concluded recoveries, in sim order
-	FaultLog []faults.Record      // what the injector actually applied
-	Trace    *obs.Tracer          // non-nil when ChaosConfig.Trace was set
-	Metrics  *obs.Registry        // the run's cluster-wide metrics registry
+	Events   []core.FailoverEvent // concluded recoveries, in sim order (replica 0's)
+	FaultLog []faults.Record      // what the injector actually applied (replica 0's)
+	Trace    *obs.Tracer          // non-nil when ChaosConfig.Trace was set (replica 0's)
+	Metrics  *obs.Registry        // cluster-wide metrics, folded across replicas
+
+	// Replicas counts merged replica runs (0 or 1 means a single run).
+	Replicas int
+}
+
+// Merge folds another replica's chaos run into r: outcome counters,
+// manager statistics, and the metrics registries add up, while the event
+// log, fault log, and trace stay replica 0's — every replica applies the
+// identical fault schedule, so one canonical incident log suffices.
+func (r *ChaosResult) Merge(o *ChaosResult) {
+	r.Queries += o.Queries
+	r.Admitted += o.Admitted
+	r.Rejected += o.Rejected
+	r.Completed += o.Completed
+	r.QoSOK += o.QoSOK
+	r.Abandoned += o.Abandoned
+	r.Stats.Merge(o.Stats)
+	if err := r.Metrics.Merge(o.Metrics); err != nil {
+		// Replicas run identical configs, so their registries always share
+		// one metric layout; a mismatch is a programming error.
+		panic(fmt.Sprintf("experiments: chaos replica metrics merge: %v", err))
+	}
+	if r.Replicas < 1 {
+		r.Replicas = 1
+	}
+	if o.Replicas < 1 {
+		r.Replicas++
+	} else {
+		r.Replicas += o.Replicas
+	}
 }
 
 // MeanFailoverLatencySeconds is the average failure-to-resume time over
@@ -166,6 +194,9 @@ func FormatChaos(r *ChaosResult) string {
 		}
 		fmt.Fprintf(&b, "  %-40s %s\n", rec.Event.String(), status)
 	}
+	if r.Replicas > 1 {
+		fmt.Fprintf(&b, "\nTotals over %d replicas (event log below is replica 0's):\n", r.Replicas)
+	}
 	fmt.Fprintf(&b, "\nQueries %d  admitted %d  rejected %d (%.1f%%)  completed %d  QoS-OK %d  abandoned %d\n",
 		r.Queries, r.Admitted, r.Rejected, 100*r.RejectRate(), r.Completed, r.QoSOK, r.Abandoned)
 	s := r.Stats
@@ -202,28 +233,4 @@ func outcomeOf(ev core.FailoverEvent) string {
 	default:
 		return "resumed"
 	}
-}
-
-// WriteChaosCSV writes the recovery events as tidy CSV: one row per
-// concluded recovery. Deterministic: same config -> byte-identical output.
-func WriteChaosCSV(w io.Writer, r *ChaosResult) error {
-	if _, err := io.WriteString(w, "time_s,video,from_site,to_site,latency_s,frames_lost,attempts,outcome\n"); err != nil {
-		return err
-	}
-	for _, ev := range r.Events {
-		row := strings.Join([]string{
-			strconv.FormatFloat(simtime.ToSeconds(ev.At), 'f', 3, 64),
-			strconv.FormatUint(uint64(ev.Video), 10),
-			ev.FromSite,
-			ev.ToSite,
-			strconv.FormatFloat(simtime.ToSeconds(ev.Latency), 'f', 3, 64),
-			strconv.FormatFloat(ev.Frames, 'f', 1, 64),
-			strconv.Itoa(ev.Attempts),
-			outcomeOf(ev),
-		}, ",")
-		if _, err := io.WriteString(w, row+"\n"); err != nil {
-			return err
-		}
-	}
-	return nil
 }

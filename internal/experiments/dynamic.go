@@ -8,6 +8,7 @@ import (
 	"quasaq/internal/media"
 	"quasaq/internal/netsim"
 	"quasaq/internal/replication"
+	"quasaq/internal/runner"
 	"quasaq/internal/simtime"
 	"quasaq/internal/workload"
 )
@@ -28,21 +29,16 @@ type DynamicResult struct {
 }
 
 // RunDynamicReplication runs the three configurations on identical query
-// streams.
+// streams. It is the serial-compatible wrapper over the dynamic scenario.
 func RunDynamicReplication(cfg ThroughputConfig) (*DynamicResult, error) {
-	res := &DynamicResult{}
-	var err error
-	single := cfg
-	single.SingleCopy = true
-	if res.StaticSingle, err = RunThroughput(SysQuaSAQ, single); err != nil {
-		return nil, err
-	}
-	if res.FullReplica, err = RunThroughput(SysQuaSAQ, cfg); err != nil {
-		return nil, err
-	}
+	return RunDynamicReplicationParallel(cfg, runner.Options{})
+}
 
-	// The dynamic run needs the replicator wired into the serving path, so
-	// it is built here rather than through RunThroughput.
+// runDynamicSingle is the hermetic single-copy + online-replication cell:
+// it builds its own world (the replicator must be wired into the serving
+// path, so it cannot reuse RunThroughput) and reports the replicator's
+// outcomes next to the throughput series.
+func runDynamicSingle(cfg ThroughputConfig) (*DynamicPoint, error) {
 	sim := simtime.NewSimulator()
 	cluster := core.TestbedCluster(sim)
 	corpus := media.StandardCorpus(uint64(cfg.Seed))
@@ -91,8 +87,6 @@ func RunDynamicReplication(cfg ThroughputConfig) (*DynamicResult, error) {
 		})
 	}
 	sim.RunUntil(cfg.Horizon)
-	res.DynamicSingle = out
-	res.ReplicasCreated = dyn.Created()
 
 	half := cfg.Horizon / 2
 	var first, second int
@@ -104,9 +98,12 @@ func RunDynamicReplication(cfg ThroughputConfig) (*DynamicResult, error) {
 		}
 	}
 	halfSecs := simtime.ToSeconds(half)
-	res.DynamicAdmitFirstHalf = float64(first) / halfSecs
-	res.DynamicAdmitSecondHalf = float64(second) / halfSecs
-	return res, nil
+	return &DynamicPoint{
+		Series:          out,
+		ReplicasCreated: dyn.Created(),
+		AdmitFirstHalf:  float64(first) / halfSecs,
+		AdmitSecondHalf: float64(second) / halfSecs,
+	}, nil
 }
 
 // FormatDynamic renders the comparison.
@@ -115,7 +112,8 @@ func FormatDynamic(r *DynamicResult) string {
 	b.WriteString("Dynamic replication (extension of §2 item 1: single-copy start)\n")
 	fmt.Fprintf(&b, "%-28s %10s %10s %10s\n", "Configuration", "SteadyOut", "Admitted", "QoS-OK")
 	row := func(name string, s *Series) {
-		fmt.Fprintf(&b, "%-28s %10.1f %10d %10d\n", name, s.SteadyOutstanding(), s.Admitted, s.QoSOK)
+		fmt.Fprintf(&b, "%-28s %10.1f %10s %10s\n",
+			name, s.SteadyOutstanding(), fmtCount(s.Admitted, s.Reps()), fmtCount(s.QoSOK, s.Reps()))
 	}
 	row("single-copy, static", r.StaticSingle)
 	row("single-copy + dynamic", r.DynamicSingle)

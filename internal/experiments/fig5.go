@@ -15,6 +15,7 @@ import (
 	"quasaq/internal/media"
 	"quasaq/internal/qos"
 	"quasaq/internal/replication"
+	"quasaq/internal/runner"
 	"quasaq/internal/simtime"
 	"quasaq/internal/stats"
 	"quasaq/internal/transport"
@@ -41,12 +42,31 @@ func DefaultFig5Config() Fig5Config {
 // DelayPanel is one of Figure 5's four panels.
 type DelayPanel struct {
 	Label      string
-	Delays     []float64 // per-frame inter-frame delays, ms
+	Delays     []float64 // per-frame inter-frame delays, ms (replica 0's trace)
 	InterFrame *stats.Summary
 	InterGOP   *stats.Summary
 	// Playout is the user-perceived consequence: a client with a one-GOP
-	// buffer playing the traced frames.
+	// buffer playing the traced frames (replica 0's trace).
 	Playout transport.PlayoutReport
+	// Replicas counts merged replica runs (0 or 1 means a single run).
+	Replicas int
+}
+
+// Merge folds another replica's panel into p: the delay summaries absorb
+// the extra samples (tightening Table 2's moments), while the plotted
+// per-frame trace and the playout report stay replica 0's — one canonical
+// trace, statistics over all replicas.
+func (p *DelayPanel) Merge(o *DelayPanel) {
+	p.InterFrame.Merge(o.InterFrame)
+	p.InterGOP.Merge(o.InterGOP)
+	if p.Replicas < 1 {
+		p.Replicas = 1
+	}
+	if o.Replicas < 1 {
+		p.Replicas++
+	} else {
+		p.Replicas += o.Replicas
+	}
 }
 
 // Fig5Result bundles the four panels; Table 2 is derived from the same
@@ -65,33 +85,16 @@ const measuredVideoID media.VideoID = 7
 // RunFig5 reproduces Figure 5: the same video streamed under the original
 // VDBMS (best-effort, round-robin CPU) and under QuaSAQ (reserved CPU and
 // bandwidth), each at low and high contention, tracing server-side
-// inter-frame delays.
+// inter-frame delays. It is the serial-compatible wrapper over the fig5
+// scenario; RunFig5Parallel adds worker-pool and replica control.
 func RunFig5(cfg Fig5Config) (*Fig5Result, error) {
-	if cfg.Frames <= 0 {
-		cfg.Frames = 1000
-	}
-	res := &Fig5Result{}
-	type panelSpec struct {
-		label   string
-		quasaq  bool
-		streams int
-	}
-	specs := [4]panelSpec{
-		{"VDBMS, Low contention", false, 0},
-		{"VDBMS+QuaSAQ, Low contention", true, 0},
-		{"VDBMS, High contention", false, cfg.Contention},
-		{"VDBMS+QuaSAQ, High contention", true, cfg.Contention},
-	}
-	for i, spec := range specs {
-		panel, err := runFig5Panel(cfg, spec.quasaq, spec.streams, spec.label)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: panel %q: %w", spec.label, err)
-		}
-		res.Panels[i] = *panel
-	}
-	v := media.StandardCorpus(uint64(cfg.Seed))[measuredVideoID-1]
-	res.IdealMillis = 1000 / v.FrameRate
-	return res, nil
+	return RunFig5Parallel(cfg, runner.Options{})
+}
+
+// idealMillis is the theoretical inter-frame delay of the measured video.
+func idealMillis(seed int64) float64 {
+	v := media.StandardCorpus(uint64(seed))[measuredVideoID-1]
+	return 1000 / v.FrameRate
 }
 
 func runFig5Panel(cfg Fig5Config, quasaq bool, contention int, label string) (*DelayPanel, error) {

@@ -27,6 +27,35 @@ type OverheadResult struct {
 	CacheMisses       uint64  // plan-cache misses (cold fills)
 	SchedulerOverhead float64 // fraction of CPU spent on dispatch bookkeeping
 	DispatchesPerSec  float64
+
+	// Replicas counts merged replica runs (0 or 1 means a single run).
+	Replicas int
+}
+
+func (r *OverheadResult) reps() float64 {
+	if r.Replicas < 1 {
+		return 1
+	}
+	return float64(r.Replicas)
+}
+
+// Merge folds another replica's measurement into r: per-query costs average
+// weighted by query count, cache and query counters sum, and the scheduler
+// figures average weighted by replica count.
+func (r *OverheadResult) Merge(o *OverheadResult) {
+	qa, qb := float64(r.Queries), float64(o.Queries)
+	if qa+qb > 0 {
+		r.PlansPerQuery = (r.PlansPerQuery*qa + o.PlansPerQuery*qb) / (qa + qb)
+		r.PlanMicrosPerQry = (r.PlanMicrosPerQry*qa + o.PlanMicrosPerQry*qb) / (qa + qb)
+		r.WarmMicrosPerQry = (r.WarmMicrosPerQry*qa + o.WarmMicrosPerQry*qb) / (qa + qb)
+	}
+	ra, rb := r.reps(), o.reps()
+	r.SchedulerOverhead = (r.SchedulerOverhead*ra + o.SchedulerOverhead*rb) / (ra + rb)
+	r.DispatchesPerSec = (r.DispatchesPerSec*ra + o.DispatchesPerSec*rb) / (ra + rb)
+	r.Queries += o.Queries
+	r.CacheHits += o.CacheHits
+	r.CacheMisses += o.CacheMisses
+	r.Replicas = int(ra + rb)
 }
 
 // RunOverhead measures both overheads.

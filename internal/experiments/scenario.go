@@ -1,0 +1,365 @@
+package experiments
+
+import (
+	"fmt"
+
+	"quasaq/internal/runner"
+)
+
+// This file adapts every experiment to the runner.Scenario contract: each
+// experiment names its grid of hermetic (point × replica) cells, and the
+// runner fans them out to a worker pool and folds replicas back together in
+// canonical order. The Run* functions below are the serial-compatible entry
+// points; the Run*Parallel variants accept runner.Options and are what
+// qsqbench's -parallel/-replicas flags drive. Replica 0 always runs the
+// config's own seed, so a single-replica sweep is byte-identical to the old
+// serial drivers.
+
+// ThroughputVariant is one point of a throughput sweep: a delivery system
+// plus the replication ablation toggle.
+type ThroughputVariant struct {
+	Key        string
+	Label      string // display name; Sys.String() when empty
+	Sys        SystemKind
+	SingleCopy bool
+}
+
+// ThroughputScenario sweeps RunThroughput over a set of system variants
+// under one workload config. All variants of one replica share the same
+// seed, so cross-system comparisons stay paired exactly as the paper's
+// "identical query streams" protocol demands.
+type ThroughputScenario struct {
+	ScenarioName string
+	Cfg          ThroughputConfig
+	Variants     []ThroughputVariant
+}
+
+// Name implements runner.Scenario.
+func (s *ThroughputScenario) Name() string { return s.ScenarioName }
+
+// Points implements runner.Scenario.
+func (s *ThroughputScenario) Points() []runner.Point {
+	pts := make([]runner.Point, len(s.Variants))
+	for i, v := range s.Variants {
+		label := v.Label
+		if label == "" {
+			label = v.Sys.String()
+		}
+		pts[i] = runner.Point{Key: v.Key, Label: label}
+	}
+	return pts
+}
+
+// Run implements runner.Scenario: one hermetic RunThroughput world.
+func (s *ThroughputScenario) Run(p runner.Point, seed int64) (*Series, error) {
+	for _, v := range s.Variants {
+		if v.Key != p.Key {
+			continue
+		}
+		cfg := s.Cfg
+		cfg.Seed = seed
+		cfg.SingleCopy = cfg.SingleCopy || v.SingleCopy
+		out, err := RunThroughput(v.Sys, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if v.Label != "" {
+			out.Name = v.Label
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown throughput variant %q", p.Key)
+}
+
+// NewFig6Scenario is Figure 6's grid: the three systems of the paper.
+func NewFig6Scenario(cfg ThroughputConfig) *ThroughputScenario {
+	return &ThroughputScenario{ScenarioName: "fig6", Cfg: cfg, Variants: []ThroughputVariant{
+		{Key: "vdbms", Sys: SysVDBMS},
+		{Key: "qosapi", Sys: SysQoSAPI},
+		{Key: "quasaq", Sys: SysQuaSAQ},
+	}}
+}
+
+// NewFig7Scenario is Figure 7's grid: randomized vs LRB plan selection.
+func NewFig7Scenario(cfg ThroughputConfig) *ThroughputScenario {
+	return &ThroughputScenario{ScenarioName: "fig7", Cfg: cfg, Variants: []ThroughputVariant{
+		{Key: "random", Sys: SysQuaSAQRandom},
+		{Key: "lrb", Sys: SysQuaSAQ},
+	}}
+}
+
+// NewAblationScenario is the cost-model and replication ablation grid.
+func NewAblationScenario(cfg ThroughputConfig) *ThroughputScenario {
+	return &ThroughputScenario{ScenarioName: "ablation", Cfg: cfg, Variants: []ThroughputVariant{
+		{Key: "lrb", Sys: SysQuaSAQ},
+		{Key: "random", Sys: SysQuaSAQRandom},
+		{Key: "minsum", Sys: SysQuaSAQMinSum},
+		{Key: "static", Sys: SysQuaSAQStatic},
+		{Key: "single-copy", Label: "QuaSAQ (single-copy)", Sys: SysQuaSAQ, SingleCopy: true},
+	}}
+}
+
+// NewThroughputScenario is the full system sweep: every delivery system and
+// cost model under one workload, the widest grid qsqbench offers
+// (-exp throughput).
+func NewThroughputScenario(cfg ThroughputConfig) *ThroughputScenario {
+	return &ThroughputScenario{ScenarioName: "throughput", Cfg: cfg, Variants: []ThroughputVariant{
+		{Key: "vdbms", Sys: SysVDBMS},
+		{Key: "qosapi", Sys: SysQoSAPI},
+		{Key: "quasaq", Sys: SysQuaSAQ},
+		{Key: "random", Sys: SysQuaSAQRandom},
+		{Key: "minsum", Sys: SysQuaSAQMinSum},
+		{Key: "static", Sys: SysQuaSAQStatic},
+	}}
+}
+
+// runSeriesSweep executes a throughput scenario and returns the merged
+// series in point order.
+func runSeriesSweep(sc *ThroughputScenario, opts runner.Options) ([]*Series, error) {
+	opts.Seed = sc.Cfg.Seed
+	prs, err := runner.Sweep[*Series](sc, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Series, len(prs))
+	for i, pr := range prs {
+		out[i] = pr.Result
+	}
+	return out, nil
+}
+
+// RunSweep executes any throughput scenario under the given options.
+func RunSweep(sc *ThroughputScenario, opts runner.Options) ([]*Series, error) {
+	return runSeriesSweep(sc, opts)
+}
+
+// RunFig6Parallel is RunFig6 with worker-pool and replica control.
+func RunFig6Parallel(cfg ThroughputConfig, opts runner.Options) ([]*Series, error) {
+	return runSeriesSweep(NewFig6Scenario(cfg), opts)
+}
+
+// RunFig7Parallel is RunFig7 with worker-pool and replica control.
+func RunFig7Parallel(cfg ThroughputConfig, opts runner.Options) ([]*Series, error) {
+	return runSeriesSweep(NewFig7Scenario(cfg), opts)
+}
+
+// Fig5Scenario sweeps the four Figure 5 panels as independent cells.
+type Fig5Scenario struct {
+	Cfg Fig5Config
+}
+
+// fig5Specs is the canonical panel order of Fig5Result.Panels.
+var fig5Specs = []struct {
+	key     string
+	label   string
+	quasaq  bool
+	loaded  bool // high contention
+}{
+	{"vdbms-low", "VDBMS, Low contention", false, false},
+	{"quasaq-low", "VDBMS+QuaSAQ, Low contention", true, false},
+	{"vdbms-high", "VDBMS, High contention", false, true},
+	{"quasaq-high", "VDBMS+QuaSAQ, High contention", true, true},
+}
+
+// Name implements runner.Scenario.
+func (s *Fig5Scenario) Name() string { return "fig5" }
+
+// Points implements runner.Scenario.
+func (s *Fig5Scenario) Points() []runner.Point {
+	pts := make([]runner.Point, len(fig5Specs))
+	for i, sp := range fig5Specs {
+		pts[i] = runner.Point{Key: sp.key, Label: sp.label}
+	}
+	return pts
+}
+
+// Run implements runner.Scenario: one traced panel in its own world.
+func (s *Fig5Scenario) Run(p runner.Point, seed int64) (*DelayPanel, error) {
+	for _, sp := range fig5Specs {
+		if sp.key != p.Key {
+			continue
+		}
+		cfg := s.Cfg
+		cfg.Seed = seed
+		contention := 0
+		if sp.loaded {
+			contention = cfg.Contention
+		}
+		return runFig5Panel(cfg, sp.quasaq, contention, sp.label)
+	}
+	return nil, fmt.Errorf("experiments: unknown fig5 panel %q", p.Key)
+}
+
+// RunFig5Parallel is RunFig5 with worker-pool and replica control.
+func RunFig5Parallel(cfg Fig5Config, opts runner.Options) (*Fig5Result, error) {
+	if cfg.Frames <= 0 {
+		cfg.Frames = 1000
+	}
+	opts.Seed = cfg.Seed
+	prs, err := runner.Sweep[*DelayPanel](&Fig5Scenario{Cfg: cfg}, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{}
+	for i, pr := range prs {
+		res.Panels[i] = *pr.Result
+	}
+	res.IdealMillis = idealMillis(cfg.Seed)
+	return res, nil
+}
+
+// ChaosScenario runs the fault-injection experiment as a single point; the
+// sweep dimension is the replicas, each driving the same fault schedule
+// with an independently seeded workload.
+type ChaosScenario struct {
+	Cfg ChaosConfig
+}
+
+// Name implements runner.Scenario.
+func (s *ChaosScenario) Name() string { return "chaos" }
+
+// Points implements runner.Scenario.
+func (s *ChaosScenario) Points() []runner.Point {
+	return []runner.Point{{Key: "chaos", Label: "faults + failover"}}
+}
+
+// Run implements runner.Scenario.
+func (s *ChaosScenario) Run(_ runner.Point, seed int64) (*ChaosResult, error) {
+	cfg := s.Cfg
+	cfg.Seed = seed
+	return RunChaos(cfg)
+}
+
+// RunChaosParallel is RunChaos with replica fan-out: counters and metric
+// registries fold across replicas while the event log stays replica 0's.
+func RunChaosParallel(cfg ChaosConfig, opts runner.Options) (*ChaosResult, error) {
+	opts.Seed = cfg.Seed
+	prs, err := runner.Sweep[*ChaosResult](&ChaosScenario{Cfg: cfg}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return prs[0].Result, nil
+}
+
+// DynamicPoint is one configuration of the dynamic-replication comparison:
+// its throughput series plus the replicator's own outcomes (zero for the
+// static configurations).
+type DynamicPoint struct {
+	Series          *Series
+	ReplicasCreated int
+	AdmitFirstHalf  float64
+	AdmitSecondHalf float64
+	// Replicas counts merged replica runs (0 or 1 means a single run).
+	Replicas int
+}
+
+func (d *DynamicPoint) reps() int {
+	if d.Replicas < 1 {
+		return 1
+	}
+	return d.Replicas
+}
+
+// Merge folds another replica's point in: series merge, replica-count sums,
+// and replica-weighted admission-rate means.
+func (d *DynamicPoint) Merge(o *DynamicPoint) {
+	ra, rb := float64(d.reps()), float64(o.reps())
+	d.Series.Merge(o.Series)
+	d.ReplicasCreated += o.ReplicasCreated
+	d.AdmitFirstHalf = (d.AdmitFirstHalf*ra + o.AdmitFirstHalf*rb) / (ra + rb)
+	d.AdmitSecondHalf = (d.AdmitSecondHalf*ra + o.AdmitSecondHalf*rb) / (ra + rb)
+	d.Replicas = d.reps() + o.reps()
+}
+
+// DynamicScenario compares single-copy storage with and without the online
+// replicator against offline full replication.
+type DynamicScenario struct {
+	Cfg ThroughputConfig
+}
+
+// Name implements runner.Scenario.
+func (s *DynamicScenario) Name() string { return "dynamic" }
+
+// Points implements runner.Scenario. The order matches DynamicResult's
+// fields: static single-copy, dynamic single-copy, full ladder.
+func (s *DynamicScenario) Points() []runner.Point {
+	return []runner.Point{
+		{Key: "single-static", Label: "single-copy, static"},
+		{Key: "single-dynamic", Label: "single-copy + dynamic"},
+		{Key: "full", Label: "offline full ladder"},
+	}
+}
+
+// Run implements runner.Scenario.
+func (s *DynamicScenario) Run(p runner.Point, seed int64) (*DynamicPoint, error) {
+	cfg := s.Cfg
+	cfg.Seed = seed
+	switch p.Key {
+	case "single-static":
+		cfg.SingleCopy = true
+		series, err := RunThroughput(SysQuaSAQ, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &DynamicPoint{Series: series}, nil
+	case "full":
+		series, err := RunThroughput(SysQuaSAQ, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &DynamicPoint{Series: series}, nil
+	case "single-dynamic":
+		return runDynamicSingle(cfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown dynamic variant %q", p.Key)
+	}
+}
+
+// RunDynamicReplicationParallel is RunDynamicReplication with worker-pool
+// and replica control.
+func RunDynamicReplicationParallel(cfg ThroughputConfig, opts runner.Options) (*DynamicResult, error) {
+	opts.Seed = cfg.Seed
+	prs, err := runner.Sweep[*DynamicPoint](&DynamicScenario{Cfg: cfg}, opts)
+	if err != nil {
+		return nil, err
+	}
+	static, dynamic, full := prs[0].Result, prs[1].Result, prs[2].Result
+	return &DynamicResult{
+		StaticSingle:           static.Series,
+		DynamicSingle:          dynamic.Series,
+		FullReplica:            full.Series,
+		ReplicasCreated:        dynamic.ReplicasCreated / dynamic.reps(),
+		DynamicAdmitFirstHalf:  dynamic.AdmitFirstHalf,
+		DynamicAdmitSecondHalf: dynamic.AdmitSecondHalf,
+	}, nil
+}
+
+// OverheadScenario times the planner and scheduler bookkeeping; replicas
+// rerun the measurement on independent workload seeds and average.
+type OverheadScenario struct {
+	Seed    int64
+	Queries int
+}
+
+// Name implements runner.Scenario.
+func (s *OverheadScenario) Name() string { return "overhead" }
+
+// Points implements runner.Scenario.
+func (s *OverheadScenario) Points() []runner.Point {
+	return []runner.Point{{Key: "overhead", Label: "planner + scheduler overhead"}}
+}
+
+// Run implements runner.Scenario.
+func (s *OverheadScenario) Run(_ runner.Point, seed int64) (*OverheadResult, error) {
+	return RunOverhead(seed, s.Queries)
+}
+
+// RunOverheadParallel is RunOverhead with replica fan-out.
+func RunOverheadParallel(seed int64, queries int, opts runner.Options) (*OverheadResult, error) {
+	opts.Seed = seed
+	prs, err := runner.Sweep[*OverheadResult](&OverheadScenario{Seed: seed, Queries: queries}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return prs[0].Result, nil
+}

@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"quasaq/internal/core"
 	"quasaq/internal/media"
 	"quasaq/internal/replication"
+	"quasaq/internal/runner"
 	"quasaq/internal/simtime"
 	"quasaq/internal/stats"
 	"quasaq/internal/transport"
@@ -67,9 +69,13 @@ func DefaultFig7Config() ThroughputConfig {
 	return ThroughputConfig{Seed: 13, Horizon: simtime.Seconds(7000), Bucket: simtime.Seconds(100)}
 }
 
-// Series is one system's throughput trajectory.
+// Series is one system's throughput trajectory. After a replica merge the
+// counters hold totals and the sampled series hold element-wise sums over
+// Replicas runs; the accessors and exporters normalize back to per-replica
+// means, so a single-replica series reads exactly as before.
 type Series struct {
 	System SystemKind
+	Name   string // display override (ablation variants); System.String() when empty
 	Bucket simtime.Time
 	Times  []float64 // bucket end times, seconds
 
@@ -82,10 +88,58 @@ type Series struct {
 	Rejected  int
 	Completed int
 	QoSOK     int
+
+	// Replicas counts the replica runs folded into this series (0 or 1
+	// means a single run).
+	Replicas int
+}
+
+// DisplayName is the legend label: the variant name when set, else the
+// system's paper name.
+func (s *Series) DisplayName() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return s.System.String()
+}
+
+// Reps returns the number of replica runs folded into the series, at least 1.
+func (s *Series) Reps() int {
+	if s.Replicas < 1 {
+		return 1
+	}
+	return s.Replicas
+}
+
+// Merge folds another replica's series into s: counters sum, sampled series
+// add element-wise, and Replicas grows, so means recover by dividing by
+// Reps(). Both series must come from the same config (equal bucketing and
+// sample counts); the receiver keeps its Times axis.
+func (s *Series) Merge(o *Series) {
+	if len(o.Outstanding) != len(s.Outstanding) || o.Bucket != s.Bucket {
+		panic(fmt.Sprintf("experiments: merging mismatched series (%d/%v vs %d/%v samples)",
+			len(s.Outstanding), s.Bucket, len(o.Outstanding), o.Bucket))
+	}
+	for i := range s.Outstanding {
+		s.Outstanding[i] += o.Outstanding[i]
+	}
+	for i := range s.SucceededPM {
+		s.SucceededPM[i] += o.SucceededPM[i]
+	}
+	for i := range s.CumRejects {
+		s.CumRejects[i] += o.CumRejects[i]
+	}
+	s.Queries += o.Queries
+	s.Admitted += o.Admitted
+	s.Rejected += o.Rejected
+	s.Completed += o.Completed
+	s.QoSOK += o.QoSOK
+	s.Replicas = s.Reps() + o.Reps()
 }
 
 // SteadyOutstanding averages the outstanding-session samples over the last
-// half of the run: the "stable stage" the paper compares (§5.2).
+// half of the run: the "stable stage" the paper compares (§5.2). For a
+// merged series this is the cross-replica mean.
 func (s *Series) SteadyOutstanding() float64 {
 	n := len(s.Outstanding)
 	if n == 0 {
@@ -95,7 +149,7 @@ func (s *Series) SteadyOutstanding() float64 {
 	for _, v := range s.Outstanding[n/2:] {
 		sum += v
 	}
-	return sum / float64(n-n/2)
+	return sum / float64(n-n/2) / float64(s.Reps())
 }
 
 // RunThroughput runs one system against the paper's workload.
@@ -193,56 +247,56 @@ func RunThroughput(sys SystemKind, cfg ThroughputConfig) (*Series, error) {
 }
 
 // RunFig6 reproduces Figure 6: the three systems under identical query
-// streams.
+// streams. It is the serial-compatible wrapper over the fig6 scenario.
 func RunFig6(cfg ThroughputConfig) ([]*Series, error) {
-	var out []*Series
-	for _, sys := range []SystemKind{SysVDBMS, SysQoSAPI, SysQuaSAQ} {
-		s, err := RunThroughput(sys, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %v: %w", sys, err)
-		}
-		out = append(out, s)
-	}
-	return out, nil
+	return RunFig6Parallel(cfg, runner.Options{})
 }
 
 // RunFig7 reproduces Figure 7: QuaSAQ under the LRB model vs the
 // randomized plan selector.
 func RunFig7(cfg ThroughputConfig) ([]*Series, error) {
-	var out []*Series
-	for _, sys := range []SystemKind{SysQuaSAQRandom, SysQuaSAQ} {
-		s, err := RunThroughput(sys, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %v: %w", sys, err)
-		}
-		out = append(out, s)
+	return RunFig7Parallel(cfg, runner.Options{})
+}
+
+// fmtCount renders a replica-merged counter: the exact total for a single
+// run, the cross-replica mean once replicas were folded in.
+func fmtCount(n, reps int) string {
+	if reps <= 1 {
+		return strconv.Itoa(n)
 	}
-	return out, nil
+	return strconv.FormatFloat(float64(n)/float64(reps), 'f', 1, 64)
 }
 
 // FormatThroughput renders series the way the paper's figures are read:
-// steady-state outstanding sessions, success rates, rejects.
+// steady-state outstanding sessions, success rates, rejects. Counters of a
+// replica-merged series render as cross-replica means.
 func FormatThroughput(title string, series []*Series) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s\n", title)
-	fmt.Fprintf(&b, "%-18s %8s %9s %9s %10s %12s %12s\n",
+	fmt.Fprintf(&b, "%s", title)
+	if len(series) > 0 && series[0].Reps() > 1 {
+		fmt.Fprintf(&b, "  (mean of %d replicas)", series[0].Reps())
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-20s %8s %9s %9s %10s %12s %12s\n",
 		"System", "Queries", "Admitted", "Rejected", "Completed", "QoS-OK/min", "SteadyOut")
 	for _, s := range series {
+		reps := s.Reps()
 		dur := simtime.ToSeconds(s.Bucket) * float64(len(s.SucceededPM))
 		perMin := 0.0
 		if dur > 0 {
-			perMin = float64(s.QoSOK) / dur * 60
+			perMin = float64(s.QoSOK) / float64(reps) / dur * 60
 		}
-		fmt.Fprintf(&b, "%-18s %8d %9d %9d %10d %12.1f %12.1f\n",
-			s.System, s.Queries, s.Admitted, s.Rejected, s.Completed, perMin, s.SteadyOutstanding())
+		fmt.Fprintf(&b, "%-20s %8s %9s %9s %10s %12.1f %12.1f\n",
+			s.DisplayName(), fmtCount(s.Queries, reps), fmtCount(s.Admitted, reps),
+			fmtCount(s.Rejected, reps), fmtCount(s.Completed, reps), perMin, s.SteadyOutstanding())
 	}
 	b.WriteString("\nOutstanding sessions over time:\n")
 	for _, s := range series {
 		tr := &stats.Trace{}
 		for i, v := range s.Outstanding {
-			tr.Add(simtime.Time(i), v)
+			tr.Add(simtime.Time(i), v/float64(s.Reps()))
 		}
-		fmt.Fprintf(&b, "\n%s\n%s", s.System, tr.ASCIIPlot(80, 6, 0))
+		fmt.Fprintf(&b, "\n%s\n%s", s.DisplayName(), tr.ASCIIPlot(80, 6, 0))
 	}
 	return b.String()
 }

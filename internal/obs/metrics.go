@@ -273,6 +273,69 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *H
 	}).h
 }
 
+// merge folds another histogram's observations into h. Bucket layouts must
+// match; the other histogram is snapshotted first so the two locks are
+// never held together.
+func (h *Histogram) merge(o *Histogram) error {
+	bounds, counts, sum, n := o.snapshot()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(bounds) != len(h.bounds) {
+		return fmt.Errorf("bucket count %d != %d", len(bounds), len(h.bounds))
+	}
+	for i, b := range bounds {
+		if h.bounds[i] != b {
+			return fmt.Errorf("bucket bound %g != %g", b, h.bounds[i])
+		}
+	}
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	h.sum += sum
+	h.n += n
+	return nil
+}
+
+// Merge folds every series of another registry into r: counters, gauges,
+// and float gauges add; histograms add bucket-wise (bounds must match).
+// Series present only in o are created in r (label-set union), so a merged
+// registry snapshots the same deterministic sorted order as a registry that
+// observed everything itself. Merging a nil or empty registry is a no-op;
+// bucket-layout conflicts are reported as errors, and a kind conflict
+// panics exactly as re-registering the series would.
+func (r *Registry) Merge(o *Registry) error {
+	if r == nil || o == nil || r == o {
+		if r == o && r != nil {
+			return fmt.Errorf("obs: cannot merge a registry into itself")
+		}
+		return nil
+	}
+	o.mu.Lock()
+	keys := append([]string(nil), o.order...)
+	src := make(map[string]*metricSeries, len(keys))
+	for k, s := range o.series {
+		src[k] = s
+	}
+	o.mu.Unlock()
+	for _, k := range keys {
+		s := src[k]
+		switch s.kind {
+		case "counter":
+			r.Counter(s.name, s.labels...).Add(s.c.Value())
+		case "gauge":
+			r.Gauge(s.name, s.labels...).Add(s.g.Value())
+		case "fgauge":
+			r.FloatGauge(s.name, s.labels...).Add(s.f.Value())
+		case "histogram":
+			bounds, _, _, _ := s.h.snapshot()
+			if err := r.Histogram(s.name, bounds, s.labels...).merge(s.h); err != nil {
+				return fmt.Errorf("obs: merge histogram %s: %w", k, err)
+			}
+		}
+	}
+	return nil
+}
+
 // MetricSnapshot is one exported metric point.
 type MetricSnapshot struct {
 	Name   string            `json:"name"`

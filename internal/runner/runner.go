@@ -1,0 +1,173 @@
+// Package runner executes experiment sweeps in parallel. The paper's
+// evaluation (Figures 5-7) is a grid of independent simulation runs —
+// (system, arrival rate, seed) points — and each run is a hermetic
+// single-threaded world on its own virtual clock. That makes the grid
+// embarrassingly parallel: runner fans (point × replica) cells out to a
+// bounded worker pool, gives every cell its own deterministically derived
+// seed, and folds results back together in canonical order, so the output
+// is byte-identical no matter how many workers ran or how the scheduler
+// interleaved them.
+//
+// The hermeticity contract every Scenario must honor: Run builds its whole
+// world — simulator, cluster, corpus, RNGs — from its arguments alone and
+// touches no package-level mutable state. Under that contract the sweep is
+// race-free by construction and `go test -race` holds it to it.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"quasaq/internal/simtime"
+)
+
+// Point is one cell of a scenario's sweep grid. Key is the stable identity
+// used for ordering and reporting; it must be unique within a scenario and
+// must not depend on the point's position, so that reordering a scenario's
+// Points can never change what any cell computes.
+type Point struct {
+	Key   string
+	Label string // human-readable; Key is used when empty
+}
+
+// Name returns the display label, falling back to the key.
+func (p Point) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return p.Key
+}
+
+// Scenario describes one experiment as a grid of independent, hermetic
+// cells. Run must be safe for concurrent invocation: each call builds its
+// own simulator/cluster world from (point, seed) and returns a result that
+// can be merged with the other replicas of the same point.
+type Scenario[R any] interface {
+	Name() string
+	Points() []Point
+	Run(p Point, seed int64) (R, error)
+}
+
+// Mergeable is the replica-aggregation half of the contract: dst.Merge(src)
+// folds one replica's result into another. The runner always merges in
+// ascending replica order with replica 0 as the receiver, so merge
+// implementations may treat the receiver as "the canonical trace" and fold
+// only statistics from later replicas.
+type Mergeable[R any] interface {
+	Merge(R)
+}
+
+// Options bound a sweep.
+type Options struct {
+	// Workers caps concurrent cells; <= 0 means GOMAXPROCS.
+	Workers int
+	// Replicas is the number of independently seeded repetitions of every
+	// point; <= 0 means 1. Replica 0 runs the base seed itself.
+	Replicas int
+	// Seed is the base seed the per-replica seeds derive from.
+	Seed int64
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+func (o Options) replicas() int {
+	if o.Replicas <= 0 {
+		return 1
+	}
+	return o.Replicas
+}
+
+// PointResult pairs a point with its replica-merged result.
+type PointResult[R any] struct {
+	Point    Point
+	Result   R
+	Replicas int
+}
+
+// Sweep runs every (point × replica) cell of the scenario on a worker pool
+// and returns one merged result per point, in the scenario's point order.
+// Determinism: cell seeds derive from (base seed, replica) only, results
+// are folded in replica order, and output order is point order — so the
+// returned values are identical for any worker count. The first error (in
+// canonical cell order, not completion order) aborts the sweep's result.
+func Sweep[R Mergeable[R]](sc Scenario[R], opts Options) ([]PointResult[R], error) {
+	points := sc.Points()
+	if len(points) == 0 {
+		return nil, fmt.Errorf("runner: scenario %q has no points", sc.Name())
+	}
+	seen := make(map[string]bool, len(points))
+	for _, p := range points {
+		if p.Key == "" {
+			return nil, fmt.Errorf("runner: scenario %q has a point with an empty key", sc.Name())
+		}
+		if seen[p.Key] {
+			return nil, fmt.Errorf("runner: scenario %q has duplicate point key %q", sc.Name(), p.Key)
+		}
+		seen[p.Key] = true
+	}
+
+	reps := opts.replicas()
+	type cell struct {
+		point   int
+		replica int
+	}
+	cells := make([]cell, 0, len(points)*reps)
+	for pi := range points {
+		for ri := 0; ri < reps; ri++ {
+			cells = append(cells, cell{point: pi, replica: ri})
+		}
+	}
+
+	results := make([][]R, len(points))
+	for i := range results {
+		results[i] = make([]R, reps)
+	}
+	errs := make([]error, len(cells))
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range jobs {
+				c := cells[ci]
+				seed := simtime.ReplicaSeed(opts.Seed, c.replica)
+				r, err := sc.Run(points[c.point], seed)
+				if err != nil {
+					errs[ci] = fmt.Errorf("runner: %s point %q replica %d (seed %d): %w",
+						sc.Name(), points[c.point].Name(), c.replica, seed, err)
+					continue
+				}
+				results[c.point][c.replica] = r
+			}
+		}()
+	}
+	for ci := range cells {
+		jobs <- ci
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]PointResult[R], len(points))
+	for pi, p := range points {
+		merged := results[pi][0]
+		for ri := 1; ri < reps; ri++ {
+			merged.Merge(results[pi][ri])
+		}
+		out[pi] = PointResult[R]{Point: p, Result: merged, Replicas: reps}
+	}
+	return out, nil
+}

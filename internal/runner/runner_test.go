@@ -1,0 +1,174 @@
+package runner
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"quasaq/internal/simtime"
+)
+
+// sumResult is a minimal mergeable result: the seeds it has absorbed, in
+// merge order, plus a running total drawn from the seeded RNG.
+type sumResult struct {
+	Seeds []int64
+	Total float64
+}
+
+func (s *sumResult) Merge(o *sumResult) {
+	s.Seeds = append(s.Seeds, o.Seeds...)
+	s.Total += o.Total
+}
+
+// gridScenario runs a deterministic pseudo-experiment per cell.
+type gridScenario struct {
+	points   []Point
+	baseSeed int64
+	fail     map[string]int // point key -> replica that errors
+	onRun    func()         // optional concurrency probe
+}
+
+func (g *gridScenario) Name() string    { return "grid" }
+func (g *gridScenario) Points() []Point { return g.points }
+func (g *gridScenario) Run(p Point, seed int64) (*sumResult, error) {
+	if g.onRun != nil {
+		g.onRun()
+	}
+	if r, ok := g.fail[p.Key]; ok && seed == simtime.ReplicaSeed(g.baseSeed, r) {
+		return nil, fmt.Errorf("cell told to fail")
+	}
+	rng := simtime.NewRand(seed ^ int64(len(p.Key)))
+	return &sumResult{Seeds: []int64{seed}, Total: rng.Float64()}, nil
+}
+
+func points(keys ...string) []Point {
+	out := make([]Point, len(keys))
+	for i, k := range keys {
+		out[i] = Point{Key: k}
+	}
+	return out
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	sc := &gridScenario{points: points("a", "b", "c")}
+	var runs []PointResult[*sumResult]
+	for _, workers := range []int{1, 4, 8} {
+		res, err := Sweep[*sumResult](sc, Options{Workers: workers, Replicas: 5, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if runs == nil {
+			runs = res
+			continue
+		}
+		if !reflect.DeepEqual(res, runs) {
+			t.Fatalf("workers=%d produced a different sweep result", workers)
+		}
+	}
+	if len(runs) != 3 {
+		t.Fatalf("points = %d", len(runs))
+	}
+	for _, pr := range runs {
+		if pr.Replicas != 5 || len(pr.Result.Seeds) != 5 {
+			t.Fatalf("point %s merged %d replica results", pr.Point.Key, len(pr.Result.Seeds))
+		}
+		// Replica results must fold in ascending replica order with
+		// replica 0 (the base seed) as the receiver.
+		for ri, s := range pr.Result.Seeds {
+			if want := simtime.ReplicaSeed(11, ri); s != want {
+				t.Fatalf("point %s merge position %d has seed %d, want %d", pr.Point.Key, ri, s, want)
+			}
+		}
+	}
+	// All points see the identical per-replica seeds (paired comparisons).
+	if !reflect.DeepEqual(runs[0].Result.Seeds, runs[1].Result.Seeds) {
+		t.Fatal("points saw different replica seeds")
+	}
+}
+
+func TestSweepRepeatedRunsIdentical(t *testing.T) {
+	sc := &gridScenario{points: points("x", "y")}
+	a, err := Sweep[*sumResult](sc, Options{Workers: 8, Replicas: 3, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep[*sumResult](sc, Options{Workers: 8, Replicas: 3, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two sweeps with the same options differ")
+	}
+}
+
+func TestSweepErrorNamesCell(t *testing.T) {
+	sc := &gridScenario{points: points("ok", "bad"), baseSeed: 11, fail: map[string]int{"bad": 2}}
+	_, err := Sweep[*sumResult](sc, Options{Workers: 4, Replicas: 4, Seed: 11})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for _, want := range []string{`point "bad"`, "replica 2", "cell told to fail"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestSweepRejectsBadPointSets(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pts  []Point
+	}{
+		{"empty", nil},
+		{"dup keys", points("a", "a")},
+		{"empty key", []Point{{Key: ""}}},
+	} {
+		sc := &gridScenario{points: tc.pts}
+		if _, err := Sweep[*sumResult](sc, Options{}); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+}
+
+// The pool must actually overlap cells: with W workers and W cells, a
+// barrier that releases only when all W cells have entered Run can only be
+// passed if the runner executes them concurrently.
+func TestSweepRunsCellsConcurrently(t *testing.T) {
+	const workers = 4
+	var barrier sync.WaitGroup
+	barrier.Add(workers)
+	sc := &gridScenario{
+		points: points("a", "b", "c", "d"),
+		onRun: func() {
+			barrier.Done()
+			barrier.Wait()
+		},
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Sweep[*sumResult](sc, Options{Workers: workers, Replicas: 1, Seed: 1})
+		done <- err
+	}()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepDefaultOptions(t *testing.T) {
+	sc := &gridScenario{points: points("only")}
+	res, err := Sweep[*sumResult](sc, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Replicas != 1 {
+		t.Fatalf("defaults: %+v", res)
+	}
+	if res[0].Result.Seeds[0] != 5 {
+		t.Fatal("single replica must run the base seed")
+	}
+	if res[0].Point.Name() != "only" {
+		t.Fatal("Name should fall back to Key")
+	}
+}

@@ -23,6 +23,42 @@ func (r *Rand) Fork() *Rand {
 	return NewRand(r.r.Int63())
 }
 
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap bijective
+// mixer whose outputs pass statistical independence tests even for
+// consecutive inputs. Seed derivation uses it so that nearby (seed, replica)
+// cells land in unrelated regions of the generator's state space.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed deterministically derives an independent seed from a base seed
+// and a string discriminator (a scenario or point key). The result depends
+// only on the inputs — never on call order or enumeration position — so a
+// sweep that reorders its points still hands every cell the same seed.
+func DeriveSeed(base int64, key string) int64 {
+	h := splitmix64(uint64(base))
+	for i := 0; i < len(key); i++ {
+		h = splitmix64(h ^ uint64(key[i]))
+	}
+	return int64(h &^ (1 << 63)) // non-negative, friendlier in logs/CSV
+}
+
+// ReplicaSeed derives the workload seed for replica i of a sweep. Replica 0
+// runs the base seed itself, so a single-replica sweep reproduces a plain
+// serial run byte-for-byte; higher replicas get mixed, mutually independent
+// seeds. The derivation is per-replica, not per-point: every point of a
+// sweep sees the identical query stream within one replica, which is what
+// makes cross-system comparisons (Figures 6/7) paired rather than noisy.
+func ReplicaSeed(base int64, replica int) int64 {
+	if replica == 0 {
+		return base
+	}
+	return int64(splitmix64(splitmix64(uint64(base))^uint64(replica)) &^ (1 << 63))
+}
+
 // Float64 returns a uniform sample in [0,1).
 func (r *Rand) Float64() float64 { return r.r.Float64() }
 
