@@ -1,11 +1,19 @@
 GO ?= go
 
-.PHONY: check vet build test shuffle race race-runner bench bench-all bench-runner chaos chaos-parallel trace-demo
+.PHONY: check fmt-check tidy-check vet build test shuffle race race-runner race-broker bench bench-all bench-runner chaos chaos-parallel trace-demo
 
 # The full gate: what CI (and a careful human) runs before merging. The
 # race target covers the plan pipeline's atomic counters and cache; the
-# shuffle target catches inter-test state leaks.
-check: vet build race shuffle
+# shuffle target catches inter-test state leaks; the hygiene targets keep
+# the tree gofmt-clean and the module file tidy.
+check: fmt-check tidy-check vet build race shuffle
+
+# gofmt -l prints offending files and exits 0; fail when it prints.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:" >&2; echo "$$out" >&2; exit 1; fi
+
+tidy-check:
+	$(GO) mod tidy -diff
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +34,11 @@ race:
 # hermeticity of every experiment cell it schedules.
 race-runner:
 	$(GO) test -race ./internal/runner/... ./internal/experiments/...
+
+# Focused race gate for the control plane: brokers, the two-phase
+# coordinator, and the admission/reservation layers they drive.
+race-broker:
+	$(GO) test -race ./internal/broker/... ./internal/core/... ./internal/gara/...
 
 # Plan-phase benchmarks (cold vs warm candidate cache, full sort vs
 # best-first pop), archived as a JSON artifact for diffing across PRs.

@@ -238,7 +238,7 @@ func BenchmarkLRBRanking(b *testing.B) {
 	var lrb core.LRB
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		lrb.Order(plans, c.Usage)
+		lrb.Order(plans, c.SiteUsage())
 	}
 	b.ReportMetric(float64(len(plans)), "plans-ranked")
 }

@@ -11,6 +11,7 @@
 //	qsqbench -exp ablation   # cost-model and replication ablations
 //	qsqbench -exp overhead   # §5.2 overhead analysis
 //	qsqbench -exp chaos      # fault injection + mid-stream failover
+//	qsqbench -exp admission  # admission latency vs load over the control plane
 //	qsqbench -exp all
 //
 // Every experiment is a grid of hermetic (point × replica) simulation
@@ -20,6 +21,11 @@
 // output is byte-identical for any -parallel value — only the wall-clock
 // changes. `-replicas 8 -parallel 8` is how confidence intervals over many
 // seeds become cheap enough to be the default.
+//
+// The admission experiment runs the distributed control plane with real
+// message latencies: -ctrl-latency-ms, -ctrl-timeout-ms, -ctrl-retries and
+// -ctrl-loss shape the PREPARE/COMMIT/ABORT traffic (defaults match the
+// paper's LAN testbed), and each -load level is one hermetic sweep point.
 //
 // The chaos experiment accepts -faults pointing at a fault-schedule file
 // (see internal/faults for the text format); without it the canonical
@@ -37,6 +43,7 @@ import (
 	"io"
 	"os"
 
+	"quasaq/internal/broker"
 	"quasaq/internal/experiments"
 	"quasaq/internal/faults"
 	"quasaq/internal/runner"
@@ -58,11 +65,17 @@ type options struct {
 	csvDir     string
 	traceFile  string
 	metricsOut string
+
+	admSecs     float64
+	ctrlLatMs   float64
+	ctrlTmoMs   float64
+	ctrlRetries int
+	ctrlLoss    float64
 }
 
 func main() {
 	var o options
-	flag.StringVar(&o.exp, "exp", "all", "experiment: fig5|table2|fig6|fig7|throughput|ablation|dynamic|overhead|chaos|all")
+	flag.StringVar(&o.exp, "exp", "all", "experiment: fig5|table2|fig6|fig7|throughput|ablation|dynamic|overhead|chaos|admission|all")
 	flag.Int64Var(&o.seed, "seed", 11, "workload seed (replica 0 runs this seed itself)")
 	flag.IntVar(&o.sweep.Workers, "parallel", 0, "worker pool size for sweep cells (0 = GOMAXPROCS)")
 	flag.IntVar(&o.sweep.Replicas, "replicas", 1, "independently seeded repetitions of every sweep point")
@@ -76,6 +89,11 @@ func main() {
 	flag.StringVar(&o.csvDir, "csv", "", "also write series CSVs into this directory")
 	flag.StringVar(&o.traceFile, "trace", "", "chaos: write Chrome trace_event JSON of every session here")
 	flag.StringVar(&o.metricsOut, "metrics", "", "chaos: write the metrics registry as JSON here")
+	flag.Float64Var(&o.admSecs, "admission-horizon", 200, "admission: query arrival window in simulated seconds")
+	flag.Float64Var(&o.ctrlLatMs, "ctrl-latency-ms", 5, "admission: one-way control-message latency (0 = synchronous)")
+	flag.Float64Var(&o.ctrlTmoMs, "ctrl-timeout-ms", 40, "admission: per-attempt control RPC timeout")
+	flag.IntVar(&o.ctrlRetries, "ctrl-retries", 2, "admission: control RPC retries after the first attempt")
+	flag.Float64Var(&o.ctrlLoss, "ctrl-loss", 0, "admission: control-message loss probability in [0,1)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "qsqbench:", err)
@@ -108,7 +126,7 @@ func (o options) throughputCfg() experiments.ThroughputConfig {
 
 func run(o options) error {
 	switch o.exp {
-	case "all", "fig5", "table2", "fig6", "fig7", "throughput", "ablation", "dynamic", "overhead", "chaos":
+	case "all", "fig5", "table2", "fig6", "fig7", "throughput", "ablation", "dynamic", "overhead", "chaos", "admission":
 	default:
 		return fmt.Errorf("unknown experiment %q", o.exp)
 	}
@@ -183,6 +201,26 @@ func run(o options) error {
 			return err
 		}
 		fmt.Println(experiments.FormatDynamic(res))
+	}
+	if all || o.exp == "admission" {
+		cfg := experiments.DefaultAdmissionConfig()
+		cfg.Seed = o.seed
+		cfg.Horizon = simtime.Seconds(o.admSecs)
+		cfg.Ctrl = broker.Config{
+			Latency: simtime.Seconds(o.ctrlLatMs / 1000),
+			Timeout: simtime.Seconds(o.ctrlTmoMs / 1000),
+			Retries: o.ctrlRetries,
+			Loss:    o.ctrlLoss,
+			Seed:    o.seed,
+		}
+		points, err := experiments.RunAdmissionParallel(cfg, o.sweep)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAdmission(cfg, points))
+		if err := saveCSV(o.csvDir, "admission.csv", experiments.AdmissionTable(points)); err != nil {
+			return err
+		}
 	}
 	if all || o.exp == "overhead" {
 		res, err := experiments.RunOverheadParallel(o.seed, o.queries, o.sweep)

@@ -183,7 +183,10 @@ func (s *Server) dispatch(line string) string {
 		fmt.Fprintf(&b, "t=%v queries=%d admitted=%d rejected=%d outstanding=%d\n",
 			s.db.Now().Truncate(time.Millisecond), st.Queries, st.Admitted, st.Rejected, st.Outstanding)
 		for _, site := range s.db.Sites() {
-			u, c := s.db.SiteUsage(site)
+			u, c, err := s.db.SiteUsage(site)
+			if err != nil {
+				return errf("site usage: %v", err)
+			}
 			fmt.Fprintf(&b, "%s: net %.1f%% cpu %.1f%% disk %.1f%%\n",
 				site, pct(u[1], c[1]), pct(u[0], c[0]), pct(u[2], c[2]))
 		}

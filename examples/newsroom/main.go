@@ -41,7 +41,10 @@ func main() {
 		fmt.Printf("%-22s admitted %2d/90, rejected %2d, outstanding %3d\n",
 			name, st.Admitted, st.Rejected, st.Outstanding)
 		for _, s := range db.Sites() {
-			usage, capacity := db.SiteUsage(s)
+			usage, capacity, err := db.SiteUsage(s)
+			if err != nil {
+				panic(err) // sites come from db.Sites()
+			}
 			fmt.Printf("  %s: net %5.1f%%  cpu %5.1f%%  disk %5.1f%%\n", s,
 				100*usage[1]/capacity[1], 100*usage[0]/capacity[0], 100*usage[2]/capacity[2])
 		}

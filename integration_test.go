@@ -79,7 +79,10 @@ func TestIntegrationMixedWorkload(t *testing.T) {
 		t.Fatalf("outstanding = %d after drain", st.Outstanding)
 	}
 	for _, site := range db.Sites() {
-		usage, _ := db.SiteUsage(site)
+		usage, _, err := db.SiteUsage(site)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for axis, v := range usage {
 			if v > 1e-6 {
 				t.Fatalf("site %s axis %d leaked %v", site, axis, v)

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"quasaq/internal/broker"
 	"quasaq/internal/gara"
 	"quasaq/internal/media"
 	"quasaq/internal/netsim"
@@ -31,29 +33,64 @@ type ServiceOptions struct {
 	OnFailed func(*Delivery, error)
 }
 
+// errReservationAbandoned reports a two-phase reservation that completed
+// after its delivery was cancelled; the leases are rolled back and the plan
+// attempt dropped.
+var errReservationAbandoned = errors.New("core: delivery cancelled during reservation")
+
 // Service runs the QoS phase for one identified video through the staged
 // plan pipeline: candidate set (cached enumeration), liveness filter,
-// incremental best-first costing, admission, reservation, streaming. It
-// returns the admitted delivery, or ErrNoPlan / ErrRejected with the last
-// per-plan admission failure joined into the error chain.
+// incremental best-first costing, two-phase reservation over the control
+// plane, streaming. It returns the admitted delivery, or ErrNoPlan /
+// ErrRejected with the last per-plan admission failure joined into the
+// error chain.
+//
+// Service requires the synchronous control plane (the default): every
+// reservation then concludes within the call, exactly as when reservations
+// were direct function calls. Once ConfigureControl gives the control net
+// latency or loss, admission spans simulator events — use ServiceAsync.
 func (m *Manager) Service(querySite string, id media.VideoID, req qos.Requirement, opts ServiceOptions) (*Delivery, error) {
+	if !m.cluster.Ctrl.Config().Synchronous() {
+		return nil, fmt.Errorf("%w (latency %v)", ErrAsyncControl, m.cluster.Ctrl.Config().Latency)
+	}
+	var (
+		rd   *Delivery
+		rerr error
+	)
+	m.ServiceAsync(querySite, id, req, opts, func(d *Delivery, err error) { rd, rerr = d, err })
+	return rd, rerr
+}
+
+// ServiceAsync is Service in continuation-passing form: done fires exactly
+// once with the admission outcome, after however many control-plane round
+// trips the two-phase reservations need. On the synchronous control plane
+// done fires before ServiceAsync returns.
+func (m *Manager) ServiceAsync(querySite string, id media.VideoID, req qos.Requirement, opts ServiceOptions, done func(*Delivery, error)) {
+	start := m.cluster.Sim.Now()
+	finish := func(d *Delivery, err error) {
+		m.met.admissionLatency.Observe(1000 * simtime.ToSeconds(m.cluster.Sim.Now()-start))
+		done(d, err)
+	}
 	m.met.queries.Inc()
 	m.sessSeq++
 	scope := m.tracer.Scope(querySite, fmt.Sprintf("s%04d %s", m.sessSeq, id))
 	qn, err := m.cluster.Node(querySite)
 	if err != nil {
-		return nil, err
+		finish(nil, err)
+		return
 	}
 	if qn.Down() {
 		m.met.noViablePlan.Inc()
 		scope.Instant("reject", map[string]any{"cause": "query site down"})
-		return nil, fmt.Errorf("core: query site %s: %w", querySite, gara.ErrNodeDown)
+		finish(nil, fmt.Errorf("core: query site %s: %w", querySite, gara.ErrNodeDown))
+		return
 	}
 	lookup := scope.Span("content_lookup", nil)
 	v, err := m.cluster.Engine.Video(id)
 	lookup.End()
 	if err != nil {
-		return nil, err
+		finish(nil, err)
+		return
 	}
 	enum := scope.Span("plan_enumerate", nil)
 	plans, hit := m.planCandidates(querySite, v, req)
@@ -64,42 +101,62 @@ func (m *Manager) Service(querySite string, id media.VideoID, req qos.Requiremen
 	if len(plans) == 0 {
 		m.met.noPlan.Inc()
 		scope.Instant("reject", map[string]any{"cause": "no plan"})
-		return nil, fmt.Errorf("%w: %s with %s", ErrNoPlan, id, req)
+		finish(nil, fmt.Errorf("%w: %s with %s", ErrNoPlan, id, req))
+		return
 	}
 	live := m.viable(plans)
 	if len(live) == 0 {
 		m.met.noViablePlan.Inc()
 		scope.Instant("reject", map[string]any{"cause": "no viable plan"})
-		return nil, fmt.Errorf("%w: every plan for %s touches a down site (%d plans)",
-			ErrNoViablePlan, id, len(plans))
+		finish(nil, fmt.Errorf("%w: every plan for %s touches a down site (%d plans)",
+			ErrNoViablePlan, id, len(plans)))
+		return
 	}
 	rank := scope.Span("cost_rank", map[string]any{"viable": len(live)})
 	next := m.admissionOrder(live)
 	rank.End()
-	var lastErr error
-	for p, ok := next(); ok; p, ok = next() {
-		m.met.plansTried.Inc()
-		rsv := scope.Span("reserve", map[string]any{
-			"site": p.DeliverySite, "replica": p.Replica.Site,
-		})
-		d, err := m.execute(querySite, v, req, p, opts, scope)
+	d := &Delivery{mgr: m, video: v, req: req, querySite: querySite, opts: opts, trace: scope}
+	m.tryPlans(d, next, opts, scope, nil, func(p *Plan, lastErr error) {
+		if p != nil {
+			m.met.admitted.Inc()
+			scope.Instant("admit", map[string]any{"site": p.DeliverySite})
+			finish(d, nil)
+			return
+		}
+		m.met.rejected.Inc()
+		scope.Instant("reject", map[string]any{"cause": "admission control"})
+		if lastErr != nil {
+			finish(nil, fmt.Errorf("%w: %s with %s (%d plans): %w", ErrRejected, id, req, len(live), lastErr))
+			return
+		}
+		finish(nil, fmt.Errorf("%w: %s with %s (%d plans)", ErrRejected, id, req, len(live)))
+	})
+}
+
+// tryPlans walks the costed plan iterator, attempting a two-phase
+// reservation per plan, and continues with the admitted plan or (nil,
+// lastErr) when the iterator is exhausted.
+func (m *Manager) tryPlans(d *Delivery, next func() (*Plan, bool), opts ServiceOptions, scope *obs.Scope, lastErr error, done func(*Plan, error)) {
+	p, ok := next()
+	if !ok {
+		done(nil, lastErr)
+		return
+	}
+	m.met.plansTried.Inc()
+	rsv := scope.Span("reserve", map[string]any{
+		"site": p.DeliverySite, "replica": p.Replica.Site,
+	})
+	m.executeInto(d, p, opts, func(err error) {
 		if err == nil {
 			rsv.SetArg("outcome", "granted")
 			rsv.End()
-			m.met.admitted.Inc()
-			scope.Instant("admit", map[string]any{"site": p.DeliverySite})
-			return d, nil
+			done(p, nil)
+			return
 		}
 		rsv.SetArg("outcome", err.Error())
 		rsv.End()
-		lastErr = err
-	}
-	m.met.rejected.Inc()
-	scope.Instant("reject", map[string]any{"cause": "admission control"})
-	if lastErr != nil {
-		return nil, fmt.Errorf("%w: %s with %s (%d plans): %w", ErrRejected, id, req, len(live), lastErr)
-	}
-	return nil, fmt.Errorf("%w: %s with %s (%d plans)", ErrRejected, id, req, len(live))
+		m.tryPlans(d, next, opts, scope, err, done)
+	})
 }
 
 func cacheLabel(hit bool) string {
@@ -144,16 +201,16 @@ func (m *Manager) viable(plans []*Plan) []*Plan {
 // plan; anything else falls back to a full Order.
 func (m *Manager) admissionOrder(live []*Plan) func() (*Plan, bool) {
 	if ss, ok := m.model.(singleShot); ok && ss.SingleShot() {
-		ranked := m.model.Order(live, m.cluster.Usage)
+		ranked := m.model.Order(live, m.siteUsage)
 		if len(ranked) > 1 {
 			ranked = ranked[:1]
 		}
 		return sliceIter(ranked)
 	}
 	if coster, ok := m.model.(Coster); ok {
-		return NewBestFirst(live, coster, m.cluster.Usage).Next
+		return NewBestFirst(live, coster, m.siteUsage).Next
 	}
-	return sliceIter(m.model.Order(live, m.cluster.Usage))
+	return sliceIter(m.model.Order(live, m.siteUsage))
 }
 
 func sliceIter(plans []*Plan) func() (*Plan, bool) {
@@ -168,43 +225,57 @@ func sliceIter(plans []*Plan) func() (*Plan, bool) {
 	}
 }
 
-// execute reserves the plan's resources and starts the session for a fresh
-// delivery.
-func (m *Manager) execute(querySite string, v *media.Video, req qos.Requirement, p *Plan, opts ServiceOptions, scope *obs.Scope) (*Delivery, error) {
-	d := &Delivery{mgr: m, video: v, req: req, querySite: querySite, opts: opts, trace: scope}
-	if err := m.executeInto(d, p, opts); err != nil {
-		return nil, err
+// executeInto runs one plan's two-phase reservation through the control
+// plane — PREPARE then COMMIT at the delivery broker, and at the source
+// broker for remote plans — and on success binds the streaming session to
+// d. It is the shared tail of admission and failover: on failover the same
+// Delivery gets a new Plan/Session in place. done receives nil on success
+// or the first refusal/timeout after the coordinator rolled the
+// transaction back.
+func (m *Manager) executeInto(d *Delivery, p *Plan, opts ServiceOptions, done func(error)) {
+	v := d.video
+	period := simtime.Seconds(1 / p.Delivered.FrameRate)
+	parts := []broker.Participant{{Site: p.DeliverySite, Name: v.Title, Vec: p.DeliveryDemand, Period: period}}
+	if p.Remote() {
+		parts = append(parts, broker.Participant{
+			Site: p.Replica.Site, Name: v.Title + "-relay", Vec: p.SourceDemand, Period: period,
+		})
 	}
-	return d, nil
+	m.coord.Reserve(d.querySite, parts, d.trace, func(leases []*gara.Lease, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		if d.aborted { // cancelled while the reservation was in flight
+			for _, l := range leases {
+				l.Release()
+			}
+			done(errReservationAbandoned)
+			return
+		}
+		done(m.bind(d, p, leases, opts))
+	})
 }
 
-// executeInto reserves the plan's resources (delivery site, then source
-// site for remote plans — all or nothing) and starts the session, binding
-// it to d. It is the shared tail of admission and failover: on failover the
-// same Delivery gets a new Plan/Session in place.
-func (m *Manager) executeInto(d *Delivery, p *Plan, opts ServiceOptions) error {
+// bind starts the streaming session on the committed leases and wires the
+// failure-detection callbacks — the local tail of a successful two-phase
+// reservation.
+func (m *Manager) bind(d *Delivery, p *Plan, leases []*gara.Lease, opts ServiceOptions) error {
 	v := d.video
+	release := func() {
+		for _, l := range leases {
+			l.Release()
+		}
+	}
 	deliveryNode, err := m.cluster.Node(p.DeliverySite)
 	if err != nil {
+		release()
 		return err
 	}
-	period := simtime.Seconds(1 / p.Delivered.FrameRate)
-	lease, err := deliveryNode.Reserve(v.Title, p.DeliveryDemand, period)
-	if err != nil {
-		return err
-	}
+	lease := leases[0]
 	var sourceLease *gara.Lease
-	if p.Remote() {
-		sourceNode, err := m.cluster.Node(p.Replica.Site)
-		if err != nil {
-			lease.Release()
-			return err
-		}
-		sourceLease, err = sourceNode.Reserve(v.Title+"-relay", p.SourceDemand, period)
-		if err != nil {
-			lease.Release()
-			return err
-		}
+	if len(leases) > 1 {
+		sourceLease = leases[1]
 	}
 	d.Plan = p
 	d.sourceLease = sourceLease
@@ -232,10 +303,7 @@ func (m *Manager) executeInto(d *Delivery, p *Plan, opts ServiceOptions) error {
 		}
 	})
 	if err != nil {
-		lease.Release()
-		if sourceLease != nil {
-			sourceLease.Release()
-		}
+		release()
 		return err
 	}
 	// Failure detection: the delivery lease's revocation fails the session
@@ -264,12 +332,28 @@ func (m *Manager) executeInto(d *Delivery, p *Plan, opts ServiceOptions) error {
 // playback position (rounded back to a GOP boundary) rather than
 // restarting. If the new requirement cannot be admitted it attempts to
 // restore a delivery at the original requirement and returns the admission
-// error alongside whatever delivery resulted.
+// error alongside whatever delivery resulted. Like Service, it requires the
+// synchronous control plane; use RenegotiateAsync otherwise.
 func (m *Manager) Renegotiate(d *Delivery, req qos.Requirement, opts ServiceOptions) (*Delivery, error) {
+	if !m.cluster.Ctrl.Config().Synchronous() {
+		return nil, fmt.Errorf("%w (latency %v)", ErrAsyncControl, m.cluster.Ctrl.Config().Latency)
+	}
+	var (
+		rd   *Delivery
+		rerr error
+	)
+	m.RenegotiateAsync(d, req, opts, func(nd *Delivery, err error) { rd, rerr = nd, err })
+	return rd, rerr
+}
+
+// RenegotiateAsync is Renegotiate in continuation-passing form, running both
+// the upgrade attempt and the restore fallback through the control plane.
+func (m *Manager) RenegotiateAsync(d *Delivery, req qos.Requirement, opts ServiceOptions, done func(*Delivery, error)) {
 	m.met.renegotiations.Inc()
 	d.trace.Instant("renegotiate", map[string]any{"req": req.String()})
 	if d.failed {
-		return nil, fmt.Errorf("core: renegotiate abandoned delivery: %w", d.err)
+		done(nil, fmt.Errorf("core: renegotiate abandoned delivery: %w", d.err))
+		return
 	}
 	if opts.StartFrame == 0 {
 		if d.recovering {
@@ -281,12 +365,17 @@ func (m *Manager) Renegotiate(d *Delivery, req qos.Requirement, opts ServiceOpti
 		}
 	}
 	d.Cancel()
-	nd, err := m.Service(d.querySite, d.video.ID, req, opts)
-	if err == nil {
-		return nd, nil
-	}
-	if od, rerr := m.Service(d.querySite, d.video.ID, d.req, opts); rerr == nil {
-		return od, err
-	}
-	return nil, err
+	m.ServiceAsync(d.querySite, d.video.ID, req, opts, func(nd *Delivery, err error) {
+		if err == nil {
+			done(nd, nil)
+			return
+		}
+		m.ServiceAsync(d.querySite, d.video.ID, d.req, opts, func(od *Delivery, rerr error) {
+			if rerr == nil {
+				done(od, err)
+				return
+			}
+			done(nil, err)
+		})
+	})
 }

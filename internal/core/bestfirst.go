@@ -53,8 +53,8 @@ func (h planHeap) Less(i, j int) bool {
 	}
 	return h[i].idx < h[j].idx
 }
-func (h planHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *planHeap) Push(x any)        { *h = append(*h, x.(planItem)) }
+func (h planHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *planHeap) Push(x any)   { *h = append(*h, x.(planItem)) }
 func (h *planHeap) Pop() any {
 	old := *h
 	n := len(old)

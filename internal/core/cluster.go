@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"quasaq/internal/broker"
 	"quasaq/internal/gara"
 	"quasaq/internal/media"
 	"quasaq/internal/metadata"
@@ -31,8 +32,16 @@ type Cluster struct {
 	// of truth.
 	Obs *obs.Registry
 
+	// Ctrl is the control-RPC net carrying PREPARE/COMMIT/ABORT between
+	// sites, and Brokers the per-site QoS broker actors owning the nodes.
+	// The default config is synchronous (zero latency, no loss): identical
+	// behaviour to direct reservation calls. ConfigureControl switches the
+	// cluster to message passing.
+	Ctrl    *broker.Net
+	Brokers map[string]*broker.Broker
+
 	siteNames []string
-	mActive   *obs.Gauge   // live streaming sessions (deliveries, not leases)
+	mActive   *obs.Gauge // live streaming sessions (deliveries, not leases)
 	mStarted  *obs.Counter
 	mEnded    *obs.Counter
 }
@@ -78,7 +87,32 @@ func NewCluster(sim *simtime.Simulator, sites []string, capacity gara.NodeCapaci
 		c.Nodes[s] = n
 		c.Blobs[s] = storage.NewBlobStore(0)
 	}
+	net, err := broker.NewNet(sim, broker.Config{}, reg)
+	if err != nil {
+		return nil, err
+	}
+	c.Ctrl = net
+	// A site whose node crashed or whose link is partitioned is cut off
+	// from control traffic too — the same faults that kill streams stall
+	// prepares and commits.
+	c.Ctrl.SetPartitionCheck(func(site string) bool {
+		n, ok := c.Nodes[site]
+		return ok && (n.Down() || n.Link().Down())
+	})
+	c.Brokers = make(map[string]*broker.Broker, len(sites))
+	for _, s := range sites {
+		b := broker.New(sim, c.Nodes[s], reg)
+		c.Brokers[s] = b
+		c.Ctrl.Register(s, b.Handle)
+	}
 	return c, nil
+}
+
+// ConfigureControl swaps the control-plane parameters (latency, timeout,
+// retry, loss, prepare TTL). The zero broker.Config restores the
+// synchronous direct-call path.
+func (c *Cluster) ConfigureControl(cfg broker.Config) error {
+	return c.Ctrl.SetConfig(cfg)
 }
 
 // TestbedCluster builds the paper's three-server deployment (§5).
@@ -117,13 +151,30 @@ func (c *Cluster) LoadCorpus(videos []*media.Video, pol replication.Policy) (int
 	return replication.Replicate(videos, sites, c.Dir, pol)
 }
 
-// Usage implements SiteUsage over the cluster's nodes.
-func (c *Cluster) Usage(site string) (usage, capacity qos.ResourceVector) {
+// Usage returns a site's reserved/used and capacity vectors. Unknown sites
+// return an error rather than zero vectors — a zero capacity would silently
+// corrupt LRB's Eq. 1 (division by bucket height) for any caller that
+// mistyped a site name.
+func (c *Cluster) Usage(site string) (usage, capacity qos.ResourceVector, err error) {
 	n, ok := c.Nodes[site]
 	if !ok {
-		return qos.ResourceVector{}, qos.ResourceVector{}
+		return qos.ResourceVector{}, qos.ResourceVector{}, fmt.Errorf("core: unknown site %q", site)
 	}
-	return n.Usage(), n.Capacity()
+	return n.Usage(), n.Capacity(), nil
+}
+
+// SiteUsage adapts the cluster to the cost models' SiteUsage contract.
+// Plans only name directory-enumerated sites, so an unknown site here is a
+// wiring bug: the adapter panics rather than feeding zero capacity into
+// Eq. 1's division.
+func (c *Cluster) SiteUsage() SiteUsage {
+	return func(site string) (usage, capacity qos.ResourceVector) {
+		u, cap, err := c.Usage(site)
+		if err != nil {
+			panic(err)
+		}
+		return u, cap
+	}
 }
 
 // Capacity returns the (uniform) per-site capacity vector.

@@ -210,7 +210,7 @@ func TestRandomOrderIsPermutation(t *testing.T) {
 	v, _ := c.Engine.Video(1)
 	plans := gen.GenerateAll("srv-a", v, qos.Requirement{})
 	r := NewRandom(simtime.NewRand(7))
-	out := r.Order(plans, c.Usage)
+	out := r.Order(plans, c.SiteUsage())
 	if len(out) != len(plans) {
 		t.Fatalf("permutation length %d != %d", len(out), len(plans))
 	}
@@ -230,10 +230,10 @@ func TestEfficiencyUnitGainMatchesLRB(t *testing.T) {
 	plans := gen.GenerateAll("srv-a", v, vcdRequirement())
 	var lrb LRB
 	eff := Efficiency{Gain: UnitGain}
-	a := lrb.Order(plans, c.Usage)
-	b := eff.Order(plans, c.Usage)
+	a := lrb.Order(plans, c.SiteUsage())
+	b := eff.Order(plans, c.SiteUsage())
 	for i := range a {
-		if lrb.Cost(a[i], c.Usage) != lrb.Cost(b[i], c.Usage) {
+		if lrb.Cost(a[i], c.SiteUsage()) != lrb.Cost(b[i], c.SiteUsage()) {
 			t.Fatalf("E=G/C with unit gain diverges from LRB at %d", i)
 		}
 	}
@@ -245,7 +245,7 @@ func TestQualityGainPrefersRicherPlans(t *testing.T) {
 	v, _ := c.Engine.Video(1)
 	plans := gen.GenerateAll("srv-a", v, qos.Requirement{MinColorDepth: 8})
 	eff := Efficiency{Gain: QualityGain}
-	ranked := eff.Order(plans, c.Usage)
+	ranked := eff.Order(plans, c.SiteUsage())
 	top := ranked[0].Delivered.Resolution.Pixels()
 	bottom := ranked[len(ranked)-1].Delivered.Resolution.Pixels()
 	if top < bottom {

@@ -134,21 +134,32 @@ func (m *Manager) attemptFailover(d *Delivery, attempt int) {
 	}
 	m.met.failoverAttempts.Inc()
 	d.trace.Instant("failover_attempt", map[string]any{"attempt": attempt})
-	pol := *m.failover
 	plans, hit := m.planCandidates(d.querySite, d.video, d.req)
 	live := m.viable(plans)
-	var lastErr error
 	if len(live) == 0 {
-		lastErr = fmt.Errorf("%w: every replica of %s is on a down site (%d plans)",
-			ErrNoViablePlan, d.video.ID, len(plans))
-	} else {
-		opts := d.opts
-		opts.StartFrame = d.resumeFrom
-		next := m.admissionOrder(live)
-		for p, ok := next(); ok; p, ok = next() {
-			if err := m.executeInto(d, p, opts); err != nil {
-				lastErr = err
-				continue
+		m.concludeFailover(d, attempt, fmt.Errorf("%w: every replica of %s is on a down site (%d plans)",
+			ErrNoViablePlan, d.video.ID, len(plans)))
+		return
+	}
+	opts := d.opts
+	opts.StartFrame = d.resumeFrom
+	next := m.admissionOrder(live)
+	var tryNext func(lastErr error)
+	tryNext = func(lastErr error) {
+		p, ok := next()
+		if !ok {
+			m.concludeFailover(d, attempt, lastErr)
+			return
+		}
+		m.executeInto(d, p, opts, func(err error) {
+			if errors.Is(err, errReservationAbandoned) {
+				// Cancelled while a reservation was in flight; the leases
+				// are rolled back and recovery is over.
+				return
+			}
+			if err != nil {
+				tryNext(err)
+				return
 			}
 			d.recovering = false
 			d.failovers++
@@ -173,9 +184,19 @@ func (m *Manager) attemptFailover(d *Delivery, attempt int) {
 				Frames:   lost,
 				Attempts: attempt,
 			})
-			return
-		}
+		})
 	}
+	tryNext(nil)
+}
+
+// concludeFailover is the tail of a recovery attempt that admitted nothing:
+// back off and retry while the budget lasts, then degrade to best-effort or
+// abandon.
+func (m *Manager) concludeFailover(d *Delivery, attempt int, lastErr error) {
+	if !d.recovering { // cancelled while reservations were in flight
+		return
+	}
+	pol := *m.failover
 	if attempt <= pol.MaxRetries {
 		m.met.failoverRetries.Inc()
 		backoff := pol.RetryBackoff << (attempt - 1)

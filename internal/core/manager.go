@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 
+	"quasaq/internal/broker"
 	"quasaq/internal/gara"
 	"quasaq/internal/media"
 	"quasaq/internal/obs"
@@ -26,7 +27,18 @@ var (
 	// on the currently-live nodes — the graceful-rejection outcome of
 	// mid-stream failover and of querying during an outage.
 	ErrNoViablePlan = errors.New("core: no viable plan on live nodes")
+	// ErrAsyncControl reports a synchronous Service call against a cluster
+	// whose control plane has non-zero latency or loss: a two-phase
+	// reservation then spans simulator events and cannot conclude inside
+	// one call. Use ServiceAsync.
+	ErrAsyncControl = errors.New("core: control plane is asynchronous; use ServiceAsync")
 )
+
+// ErrControlTimeout re-exports the control plane's timeout cause: a
+// reservation leg's PREPARE or COMMIT starved its retry budget (partition,
+// loss). Rejections it causes satisfy both errors.Is(err, ErrRejected) and
+// errors.Is(err, ErrControlTimeout).
+var ErrControlTimeout = broker.ErrControlTimeout
 
 // Delivery is one admitted, executing query: the chosen plan, its streaming
 // session, and the remote-site lease if the plan relays between sites.
@@ -55,6 +67,7 @@ type Delivery struct {
 	failCause  error // the fault that killed the most recent session
 	degraded   bool
 	failed     bool
+	aborted    bool // Cancel was called; in-flight reservations roll back
 	err        error
 
 	// Tracing state (nil scopes/spans when tracing is off; all methods on
@@ -96,6 +109,7 @@ func (d *Delivery) Err() error { return d.err }
 // Cancel aborts the delivery and releases every resource, including any
 // pending failover attempt. Idempotent.
 func (d *Delivery) Cancel() {
+	d.aborted = true
 	if d.recoveryEv != nil {
 		d.mgr.cluster.Sim.Cancel(d.recoveryEv)
 		d.recoveryEv = nil
@@ -184,6 +198,11 @@ type managerMetrics struct {
 	bestEffortFallbacks *obs.Counter
 	framesLost          *obs.FloatGauge
 	failoverLatency     *obs.Gauge // summed failure->resume time, nanoseconds
+
+	// admissionLatency tracks the sim-time from query arrival to the
+	// admission decision (admit or reject), in milliseconds — the control
+	// plane's end-to-end cost. Zero under a synchronous control plane.
+	admissionLatency *obs.Histogram
 }
 
 func newManagerMetrics(reg *obs.Registry) managerMetrics {
@@ -204,6 +223,8 @@ func newManagerMetrics(reg *obs.Registry) managerMetrics {
 		bestEffortFallbacks: reg.Counter("quasaq_best_effort_fallbacks_total"),
 		framesLost:          reg.FloatGauge("quasaq_frames_lost_in_failover"),
 		failoverLatency:     reg.Gauge("quasaq_failover_latency_ns_total"),
+		admissionLatency: reg.Histogram("quasaq_ctrl_admission_latency_ms",
+			[]float64{1, 5, 10, 25, 50, 100, 250, 500, 1000}),
 	}
 }
 
@@ -217,6 +238,7 @@ type Manager struct {
 	gen     *Generator
 	model   CostModel
 	cache   *PlanCache
+	coord   *broker.Coordinator
 	met     managerMetrics
 
 	tracer  *obs.Tracer
@@ -239,6 +261,7 @@ func NewManagerWithConfig(c *Cluster, model CostModel, cfg GeneratorConfig) *Man
 		gen:     NewGenerator(c.Dir, cfg),
 		model:   model,
 		cache:   NewPlanCache(c.Dir),
+		coord:   broker.NewCoordinator(c.Ctrl, c.Obs),
 		met:     newManagerMetrics(c.Obs),
 	}
 	m.cache.Instrument(c.Obs)
@@ -299,4 +322,16 @@ func (m *Manager) PlanCache() *PlanCache { return m.cache }
 func (m *Manager) siteDown(site string) bool {
 	n, ok := m.cluster.Nodes[site]
 	return ok && n.Down()
+}
+
+// siteUsage adapts Cluster.Usage to the cost models' SiteUsage contract.
+// Plans only name sites enumerated from the directory, so an unknown site
+// here is a wiring bug — fail loudly instead of feeding zero capacity into
+// Eq. 1's division.
+func (m *Manager) siteUsage(site string) (usage, capacity qos.ResourceVector) {
+	u, cap, err := m.cluster.Usage(site)
+	if err != nil {
+		panic(err)
+	}
+	return u, cap
 }

@@ -55,7 +55,7 @@ func drain(next func() (*Plan, bool)) []*Plan {
 func eagerReference(m *Manager, gen *Generator, model CostModel, site string, v *media.Video, req qos.Requirement) []*Plan {
 	plans := gen.GenerateAll(site, v, req)
 	live := m.viable(plans)
-	ranked := model.Order(live, m.cluster.Usage)
+	ranked := model.Order(live, m.cluster.SiteUsage())
 	if ss, ok := model.(singleShot); ok && ss.SingleShot() && len(ranked) > 1 {
 		ranked = ranked[:1]
 	}
@@ -141,8 +141,8 @@ func TestBestFirstMatchesStableSort(t *testing.T) {
 		CostModel
 		Coster
 	}{LRB{}, MinSum{}, StaticCheapest{}, Efficiency{Gain: QualityGain}} {
-		ranked := model.Order(plans, c.Usage)
-		popped := drain(NewBestFirst(plans, model, c.Usage).Next)
+		ranked := model.Order(plans, c.SiteUsage())
+		popped := drain(NewBestFirst(plans, model, c.SiteUsage()).Next)
 		if len(ranked) != len(popped) {
 			t.Fatalf("%s: %d ranked vs %d popped", model.Name(), len(ranked), len(popped))
 		}

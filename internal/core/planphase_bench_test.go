@@ -73,7 +73,7 @@ func BenchmarkPlanPhase(b *testing.B) {
 		var lrb LRB
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if lrb.Order(plans, m.cluster.Usage)[0] == nil {
+			if lrb.Order(plans, m.cluster.SiteUsage())[0] == nil {
 				b.Fatal("no plan")
 			}
 		}
@@ -84,7 +84,7 @@ func BenchmarkPlanPhase(b *testing.B) {
 		var lrb LRB
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if p, ok := NewBestFirst(plans, lrb, m.cluster.Usage).Next(); !ok || p == nil {
+			if p, ok := NewBestFirst(plans, lrb, m.cluster.SiteUsage()).Next(); !ok || p == nil {
 				b.Fatal("no plan")
 			}
 		}

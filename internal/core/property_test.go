@@ -113,9 +113,9 @@ func TestPropertyLRBOrderMonotone(t *testing.T) {
 	if err := quick.Check(func(rr randomRequirement) bool {
 		req := qos.Requirement(rr)
 		plans := gen.GenerateAll("srv-a", c.Engine.All()[2], req)
-		ranked := lrb.Order(plans, c.Usage)
+		ranked := lrb.Order(plans, c.SiteUsage())
 		for i := 1; i < len(ranked); i++ {
-			if lrb.Cost(ranked[i-1], c.Usage) > lrb.Cost(ranked[i], c.Usage)+1e-12 {
+			if lrb.Cost(ranked[i-1], c.SiteUsage()) > lrb.Cost(ranked[i], c.SiteUsage())+1e-12 {
 				return false
 			}
 		}
@@ -135,7 +135,7 @@ func TestPropertyServiceConservesResources(t *testing.T) {
 	snapshot := func() [3]qos.ResourceVector {
 		var out [3]qos.ResourceVector
 		for j, s := range c.Sites() {
-			out[j], _ = c.Usage(s)
+			out[j], _, _ = c.Usage(s)
 		}
 		return out
 	}

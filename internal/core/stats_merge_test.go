@@ -1,0 +1,53 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestManagerStatsMergeSumsEveryField constructs two ManagerStats values
+// whose fields are all distinct non-zero numbers via reflection and checks
+// that Merge sums each one. Adding a field to ManagerStats without teaching
+// Merge about it fails here automatically — no hand-maintained field list.
+func TestManagerStatsMergeSumsEveryField(t *testing.T) {
+	fill := func(s *ManagerStats, base int64) {
+		v := reflect.ValueOf(s).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			x := base + int64(i)
+			switch f.Kind() {
+			case reflect.Uint64:
+				f.SetUint(uint64(x))
+			case reflect.Int64: // simtime.Time
+				f.SetInt(x)
+			case reflect.Float64:
+				f.SetFloat(float64(x))
+			default:
+				t.Fatalf("ManagerStats.%s has kind %s the merge test cannot fill; extend the test",
+					v.Type().Field(i).Name, f.Kind())
+			}
+		}
+	}
+	var a, b ManagerStats
+	fill(&a, 1)
+	fill(&b, 1000)
+	a.Merge(b)
+
+	av := reflect.ValueOf(a)
+	for i := 0; i < av.NumField(); i++ {
+		name := av.Type().Field(i).Name
+		want := float64(1+i) + float64(1000+i)
+		var got float64
+		switch f := av.Field(i); f.Kind() {
+		case reflect.Uint64:
+			got = float64(f.Uint())
+		case reflect.Int64:
+			got = float64(f.Int())
+		case reflect.Float64:
+			got = f.Float()
+		}
+		if got != want {
+			t.Errorf("Merge dropped ManagerStats.%s: got %v, want %v", name, got, want)
+		}
+	}
+}

@@ -161,3 +161,20 @@ func TestReplicaMergeMatchesIndividualRuns(t *testing.T) {
 		t.Fatalf("merged counters %d/%d, want %d/%d", got.Queries, got.QoSOK, wantQueries, wantQoSOK)
 	}
 }
+
+func TestAdmissionCSVDeterministic(t *testing.T) {
+	cfg := DefaultAdmissionConfig()
+	cfg.Horizon = simtime.Seconds(40)
+	cfg.Loads = []float64{1, 4}
+	assertDeterministic(t, "admission", func(t *testing.T, workers int) []byte {
+		points, err := RunAdmissionParallel(cfg, runner.Options{Workers: workers, Replicas: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteAdmissionCSV(&buf, points); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	})
+}

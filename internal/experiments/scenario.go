@@ -150,10 +150,10 @@ type Fig5Scenario struct {
 
 // fig5Specs is the canonical panel order of Fig5Result.Panels.
 var fig5Specs = []struct {
-	key     string
-	label   string
-	quasaq  bool
-	loaded  bool // high contention
+	key    string
+	label  string
+	quasaq bool
+	loaded bool // high contention
 }{
 	{"vdbms-low", "VDBMS, Low contention", false, false},
 	{"quasaq-low", "VDBMS+QuaSAQ, Low contention", true, false},

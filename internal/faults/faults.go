@@ -22,6 +22,12 @@
 // Offsets are Go durations from simulation start; '#' starts a comment.
 // Link targets name the node whose outbound link is hit (links register
 // under their owning node's name).
+//
+// When the cluster's control plane runs asynchronously (see
+// internal/broker), node crashes and link partitions also cut the site off
+// from PREPARE/COMMIT/ABORT traffic: in-flight two-phase reservations time
+// out and roll back, and prepared leases on the cut side are reclaimed by
+// TTL — the same fault stalls commits, not just streams.
 package faults
 
 import (

@@ -84,20 +84,24 @@ type Node struct {
 	memUsed  float64
 	netResv  float64 // mirrors link reservations made through leases
 
-	leases int
-	live   []*Lease // live leases, oldest first
+	leases   int
+	prepared int      // leases still in the prepared (uncommitted) 2PC state
+	live     []*Lease // live leases, oldest first
 
 	down     bool
 	watchers []func(NodeEvent)
 
 	// Registry handles, nil (no-op) until Instrument is called.
-	reg       *obs.Registry
-	mGranted  *obs.Counter
-	mReleased *obs.Counter
-	mRevoked  *obs.Counter
-	mCrashes  *obs.Counter
-	mRestores *obs.Counter
-	mLive     *obs.Gauge
+	reg          *obs.Registry
+	mGranted     *obs.Counter
+	mReleased    *obs.Counter
+	mRevoked     *obs.Counter
+	mCrashes     *obs.Counter
+	mRestores    *obs.Counter
+	mLive        *obs.Gauge
+	mPrepared    *obs.Counter
+	mCommitted   *obs.Counter
+	mPreparedNow *obs.Gauge
 }
 
 // Instrument wires the node's lease accounting — and its link's and CPU
@@ -111,6 +115,9 @@ func (n *Node) Instrument(reg *obs.Registry) {
 	n.mCrashes = reg.Counter("gara_node_crashes_total", "site", n.name)
 	n.mRestores = reg.Counter("gara_node_restores_total", "site", n.name)
 	n.mLive = reg.Gauge("gara_leases_live", "site", n.name)
+	n.mPrepared = reg.Counter("gara_leases_prepared_total", "site", n.name)
+	n.mCommitted = reg.Counter("gara_leases_committed_total", "site", n.name)
+	n.mPreparedNow = reg.Gauge("gara_leases_prepared_live", "site", n.name)
 	n.link.Instrument(reg, "site", n.name)
 	n.cpu.Instrument(reg, "site", n.name)
 }
@@ -230,7 +237,11 @@ func (n *Node) Admit(v qos.ResourceVector) bool {
 	return v.FitsWithin(n.Usage(), n.capacity)
 }
 
-// Lease is an end-to-end resource reservation on one node.
+// Lease is an end-to-end resource reservation on one node. A lease born via
+// Reserve is committed immediately (the collocated fast path); one born via
+// Prepare holds its resources but stays in the prepared state until Commit
+// seals it or Release/Revoke returns the resources — the two-phase
+// reservation states of the distributed control plane.
 type Lease struct {
 	node     *Node
 	vec      qos.ResourceVector
@@ -240,6 +251,7 @@ type Lease struct {
 	netResv  *netsim.Reservation
 	released bool
 	revoked  bool
+	prepared bool
 	onRevoke func(cause error)
 }
 
@@ -296,6 +308,49 @@ func (n *Node) Reserve(name string, v qos.ResourceVector, period simtime.Time) (
 	return l, nil
 }
 
+// Prepare reserves the demand vector like Reserve but leaves the lease in
+// the prepared state: resources are held (so a later Commit cannot fail for
+// lack of capacity) yet the reservation is not considered sealed until
+// Commit. A prepared lease is released/revoked exactly like a committed one;
+// broker TTL timers use that to reclaim orphans after a coordinator vanishes
+// mid-transaction.
+func (n *Node) Prepare(name string, v qos.ResourceVector, period simtime.Time) (*Lease, error) {
+	l, err := n.Reserve(name, v, period)
+	if err != nil {
+		return nil, err
+	}
+	l.prepared = true
+	n.prepared++
+	n.mPrepared.Inc()
+	n.mPreparedNow.Set(int64(n.prepared))
+	return l, nil
+}
+
+// PreparedLeases returns the number of live leases still awaiting Commit.
+func (n *Node) PreparedLeases() int { return n.prepared }
+
+// Prepared reports whether the lease is still in the prepared 2PC state.
+func (l *Lease) Prepared() bool { return l.prepared }
+
+// Commit seals a prepared lease. Resources were already held at Prepare
+// time, so commit cannot fail for lack of capacity — only because the lease
+// is gone (released, revoked, or TTL-reclaimed). Committing an
+// already-committed (or Reserve-born) lease is a no-op.
+func (l *Lease) Commit() error {
+	if l.released {
+		return fmt.Errorf("%w: commit %s on %s", ErrLeaseReleased, l.name, l.node.name)
+	}
+	if !l.prepared {
+		return nil
+	}
+	l.prepared = false
+	n := l.node
+	n.prepared--
+	n.mCommitted.Inc()
+	n.mPreparedNow.Set(int64(n.prepared))
+	return nil
+}
+
 func (l *Lease) rollbackNet() {
 	if l.netResv != nil {
 		l.netResv.Release()
@@ -326,6 +381,11 @@ func (l *Lease) Release() {
 	}
 	l.released = true
 	n := l.node
+	if l.prepared {
+		l.prepared = false
+		n.prepared--
+		n.mPreparedNow.Set(int64(n.prepared))
+	}
 	l.rollbackNet()
 	if l.cpuJob != nil {
 		l.cpuJob.Finish()

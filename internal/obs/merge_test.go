@@ -114,3 +114,74 @@ func TestMergeNilAndSelf(t *testing.T) {
 		t.Fatal("merging a registry into itself must error")
 	}
 }
+
+// The general union-sum property over full snapshots: for every kind, the
+// merged registry's snapshot is keyed by the union of both inputs' series,
+// with counter/gauge values (and histogram counts/sums) added where a series
+// appears on both sides. This is the label-union contract TestMergeUnionsLabelSets
+// spot-checks, verified generically over every exported series.
+func TestMergeSnapshotIsUnionSum(t *testing.T) {
+	build := func(siteA, siteB string, scale float64) *Registry {
+		r := NewRegistry()
+		r.Counter("ctrl_msgs_total", "op", "prepare").Add(uint64(10 * scale))
+		r.Counter("ctrl_msgs_total", "op", "commit").Add(uint64(20 * scale))
+		r.Counter("leases_total", "site", siteA).Add(uint64(3 * scale))
+		r.Counter("leases_total", "site", siteB).Add(uint64(4 * scale))
+		r.Gauge("sessions_active").Add(int64(5 * scale))
+		r.FloatGauge("frames_lost").Add(scale / 2)
+		h := r.Histogram("latency_ms", []float64{1, 10}, "site", siteA)
+		h.Observe(scale)
+		return r
+	}
+	// srv-b appears on both sides; srv-a and srv-c on one each.
+	a := build("srv-a", "srv-b", 1)
+	b := build("srv-c", "srv-b", 10)
+
+	index := func(r *Registry) map[string]MetricSnapshot {
+		m := map[string]MetricSnapshot{}
+		for _, s := range r.Snapshot() {
+			key := s.Name
+			for k, v := range s.Labels {
+				key += "|" + k + "=" + v
+			}
+			m[key] = s
+		}
+		return m
+	}
+	ia, ib := index(a), index(b)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	merged := index(a)
+
+	union := map[string]bool{}
+	for k := range ia {
+		union[k] = true
+	}
+	for k := range ib {
+		union[k] = true
+	}
+	if len(merged) != len(union) {
+		t.Fatalf("merged snapshot has %d series, union has %d", len(merged), len(union))
+	}
+	for k := range union {
+		got, ok := merged[k]
+		if !ok {
+			t.Errorf("series %s missing after merge", k)
+			continue
+		}
+		var wantV, wantSum float64
+		var wantN uint64
+		for _, side := range []map[string]MetricSnapshot{ia, ib} {
+			if s, ok := side[k]; ok {
+				wantV += s.Value
+				wantSum += s.Sum
+				wantN += s.Count
+			}
+		}
+		if got.Value != wantV || got.Sum != wantSum || got.Count != wantN {
+			t.Errorf("series %s: value/sum/count = %v/%v/%d, want %v/%v/%d",
+				k, got.Value, got.Sum, got.Count, wantV, wantSum, wantN)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 
+	"quasaq/internal/broker"
 	"quasaq/internal/core"
 	"quasaq/internal/faults"
 	"quasaq/internal/gara"
@@ -79,7 +80,16 @@ type (
 	Time = simtime.Time
 	// MetricSnapshot is one exported metric point from the registry.
 	MetricSnapshot = obs.MetricSnapshot
+	// ControlPlaneConfig tunes the distributed control plane: inter-site
+	// message latency, per-attempt timeout, retry budget, loss, and the
+	// prepare TTL bounding orphaned reservations. The zero value is the
+	// synchronous direct-call path.
+	ControlPlaneConfig = broker.Config
 )
+
+// TestbedControlPlane returns realistic LAN control-plane parameters (5 ms
+// one-way latency, 40 ms timeouts, two retries, 250 ms prepare TTL).
+var TestbedControlPlane = broker.TestbedConfig
 
 // Standard resolutions and QoP vocabulary, re-exported for convenience.
 var (
@@ -165,6 +175,13 @@ type Options struct {
 	Model CostModel
 	// SingleCopyReplication disables the quality ladder (ablation).
 	SingleCopyReplication bool
+	// Control configures the distributed control plane. The zero value is
+	// the synchronous path: reservations conclude inside Deliver, exactly
+	// as when they were direct calls. Non-zero latency or loss turns
+	// cross-site admission into message-passing two-phase reservations;
+	// synchronous entry points then return ErrAsyncControl — use
+	// DeliverAsync.
+	Control ControlPlaneConfig
 }
 
 // DB is a QoS-aware multimedia database instance on a virtual clock.
@@ -190,6 +207,9 @@ func Open(opts Options) (*DB, error) {
 	sim := simtime.NewSimulator()
 	cluster, err := core.NewCluster(sim, opts.Sites, opts.Capacity)
 	if err != nil {
+		return nil, err
+	}
+	if err := cluster.ConfigureControl(opts.Control); err != nil {
 		return nil, err
 	}
 	pol := replication.DefaultPolicy()
@@ -247,6 +267,21 @@ func (db *DB) Explain(sql string) (string, error) {
 func (db *DB) Deliver(site string, id VideoID, req Requirement) (*Delivery, error) {
 	db.observe(id, req)
 	return db.manager.Service(site, id, req, core.ServiceOptions{})
+}
+
+// DeliverAsync runs the QoS phase with the admission decision delivered
+// through done, after however many control-plane round trips the two-phase
+// reservations take (move the clock with Advance/RunUntilIdle). Under the
+// default synchronous control plane done fires before DeliverAsync returns.
+func (db *DB) DeliverAsync(site string, id VideoID, req Requirement, done func(*Delivery, error)) {
+	db.observe(id, req)
+	db.manager.ServiceAsync(site, id, req, core.ServiceOptions{}, done)
+}
+
+// ConfigureControl swaps the control plane's parameters at runtime; the
+// zero config restores the synchronous direct-call path.
+func (db *DB) ConfigureControl(cfg ControlPlaneConfig) error {
+	return db.cluster.ConfigureControl(cfg)
 }
 
 // DeliverTraced is Deliver with a per-frame completion trace of up to n
@@ -349,6 +384,15 @@ var (
 	ErrNodeDown = gara.ErrNodeDown
 	// ErrLeaseRevoked: a resource lease was revoked by a fault.
 	ErrLeaseRevoked = gara.ErrLeaseRevoked
+	// ErrRejected: every candidate plan failed admission control; the chain
+	// carries the last per-plan cause.
+	ErrRejected = core.ErrRejected
+	// ErrControlTimeout: a control-plane PREPARE/COMMIT starved its retry
+	// budget (partition, loss); found on ErrRejected chains via errors.Is.
+	ErrControlTimeout = core.ErrControlTimeout
+	// ErrAsyncControl: a synchronous entry point (Deliver, Renegotiate) was
+	// called while the control plane has latency or loss; use DeliverAsync.
+	ErrAsyncControl = core.ErrAsyncControl
 )
 
 // DefaultFailoverPolicy returns the standard heartbeat detector with
@@ -515,8 +559,9 @@ func (db *DB) Stats() Stats {
 }
 
 // SiteUsage returns a site's current usage and capacity vectors — the LRB
-// bucket fillings, for observability.
-func (db *DB) SiteUsage(site string) (usage, capacity ResourceVector) {
+// bucket fillings, for observability. Unknown sites return an error rather
+// than zero vectors.
+func (db *DB) SiteUsage(site string) (usage, capacity ResourceVector, err error) {
 	return db.cluster.Usage(site)
 }
 

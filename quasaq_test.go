@@ -204,7 +204,10 @@ func TestSiteUsageObservable(t *testing.T) {
 	}
 	defer d.Cancel()
 	site := d.Plan.DeliverySite
-	usage, capacity := db.SiteUsage(site)
+	usage, capacity, err := db.SiteUsage(site)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if usage[1] <= 0 { // net bandwidth axis
 		t.Fatalf("no usage visible at %s: %v", site, usage)
 	}
