@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt-check tidy-check vet build test shuffle race race-runner race-broker bench bench-all bench-runner chaos chaos-parallel trace-demo
+.PHONY: check fmt-check tidy-check vet build test shuffle race race-runner race-broker race-guardian fuzz-smoke bench bench-all bench-runner bench-overload chaos chaos-parallel trace-demo
 
 # The full gate: what CI (and a careful human) runs before merging. The
 # race target covers the plan pipeline's atomic counters and cache; the
 # shuffle target catches inter-test state leaks; the hygiene targets keep
 # the tree gofmt-clean and the module file tidy.
-check: fmt-check tidy-check vet build race shuffle
+check: fmt-check tidy-check vet build race shuffle fuzz-smoke
 
 # gofmt -l prints offending files and exits 0; fail when it prints.
 fmt-check:
@@ -40,6 +40,17 @@ race-runner:
 race-broker:
 	$(GO) test -race ./internal/broker/... ./internal/core/... ./internal/gara/...
 
+# Focused race gate for the runtime-QoS stack: guardian monitors, the
+# transport accounting they sample, the congestion waterfill, and the
+# circuit breaker / retry budget on the control plane.
+race-guardian:
+	$(GO) test -race . ./internal/guardian/... ./internal/transport/... ./internal/netsim/... ./internal/broker/...
+
+# Short coverage-guided fuzz pass over the MPEG layering parser: any
+# input must either parse or fail with ErrCorrupt — never panic.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParser -fuzztime=10s ./internal/mpeg
+
 # Plan-phase benchmarks (cold vs warm candidate cache, full sort vs
 # best-first pop), archived as a JSON artifact for diffing across PRs.
 bench:
@@ -54,6 +65,11 @@ bench-all:
 bench-runner:
 	$(GO) test -run '^$$' -bench RunnerSweep -benchtime 2x ./internal/experiments | $(GO) run ./cmd/benchjson -out BENCH_runner.json
 	@cat BENCH_runner.json
+
+# Overload ramp, baseline vs guarded (guardian + breaker + admission
+# queue), archived as a JSON artifact for diffing across PRs.
+bench-overload:
+	$(GO) run ./cmd/qsqbench -exp overload -replicas 3 -parallel 6 -bench BENCH_overload.json
 
 chaos:
 	$(GO) run ./cmd/qsqbench -exp chaos

@@ -12,6 +12,7 @@
 //	qsqbench -exp overhead   # §5.2 overhead analysis
 //	qsqbench -exp chaos      # fault injection + mid-stream failover
 //	qsqbench -exp admission  # admission latency vs load over the control plane
+//	qsqbench -exp overload   # load ramp past capacity: guardian + breaker vs baseline
 //	qsqbench -exp all
 //
 // Every experiment is a grid of hermetic (point × replica) simulation
@@ -71,6 +72,9 @@ type options struct {
 	ctrlTmoMs   float64
 	ctrlRetries int
 	ctrlLoss    float64
+
+	overloadScale float64
+	benchOut      string
 }
 
 func main() {
@@ -94,6 +98,8 @@ func main() {
 	flag.Float64Var(&o.ctrlTmoMs, "ctrl-timeout-ms", 40, "admission: per-attempt control RPC timeout")
 	flag.IntVar(&o.ctrlRetries, "ctrl-retries", 2, "admission: control RPC retries after the first attempt")
 	flag.Float64Var(&o.ctrlLoss, "ctrl-loss", 0, "admission: control-message loss probability in [0,1)")
+	flag.Float64Var(&o.overloadScale, "overload-scale", 1, "overload: shrink (<1) or stretch (>1) the ramp and fault times")
+	flag.StringVar(&o.benchOut, "bench", "", "overload: archive the run as a JSON benchmark record here")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "qsqbench:", err)
@@ -126,7 +132,7 @@ func (o options) throughputCfg() experiments.ThroughputConfig {
 
 func run(o options) error {
 	switch o.exp {
-	case "all", "fig5", "table2", "fig6", "fig7", "throughput", "ablation", "dynamic", "overhead", "chaos", "admission":
+	case "all", "fig5", "table2", "fig6", "fig7", "throughput", "ablation", "dynamic", "overhead", "chaos", "admission", "overload":
 	default:
 		return fmt.Errorf("unknown experiment %q", o.exp)
 	}
@@ -220,6 +226,37 @@ func run(o options) error {
 		fmt.Println(experiments.FormatAdmission(cfg, points))
 		if err := saveCSV(o.csvDir, "admission.csv", experiments.AdmissionTable(points)); err != nil {
 			return err
+		}
+	}
+	if o.exp == "overload" { // not part of -exp all: the drain runs long past the ramp
+		cfg := experiments.DefaultOverloadConfig()
+		cfg.Seed = o.seed
+		if o.overloadScale != 1 {
+			if o.overloadScale <= 0 {
+				return fmt.Errorf("non-positive -overload-scale %v", o.overloadScale)
+			}
+			for i := range cfg.Phases {
+				cfg.Phases[i].Duration = simtime.Time(float64(cfg.Phases[i].Duration) * o.overloadScale)
+			}
+			for i := range cfg.Schedule {
+				cfg.Schedule[i].At = simtime.Time(float64(cfg.Schedule[i].At) * o.overloadScale)
+			}
+		}
+		points, err := experiments.RunOverloadParallel(cfg, o.sweep)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatOverload(cfg, points))
+		if err := saveCSV(o.csvDir, "overload.csv", experiments.OverloadTable(points)); err != nil {
+			return err
+		}
+		if o.benchOut != "" {
+			if err := writeFile(o.benchOut, func(w io.Writer) error {
+				return experiments.WriteOverloadJSON(w, cfg, points)
+			}); err != nil {
+				return err
+			}
+			fmt.Println("wrote", o.benchOut)
 		}
 	}
 	if all || o.exp == "overhead" {

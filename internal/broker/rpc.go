@@ -57,6 +57,12 @@ type Config struct {
 	// (Retries+2) × Timeout, long enough that a coordinator still retrying
 	// cannot race its own prepare's expiry.
 	PrepareTTL simtime.Time
+	// Breaker enables per-site circuit breakers over cross-site calls; the
+	// zero value disables them (see BreakerConfig).
+	Breaker BreakerConfig
+	// RetryBudget bounds total retry traffic to a token bucket refilled by
+	// successes; the zero value disables it (see RetryBudgetConfig).
+	RetryBudget RetryBudgetConfig
 }
 
 // Synchronous reports whether the config selects the direct-call fast path:
@@ -81,6 +87,17 @@ func (c Config) withDefaults() Config {
 	if c.PrepareTTL <= 0 {
 		c.PrepareTTL = simtime.Time(c.Retries+2) * c.Timeout
 	}
+	if c.Breaker.Enabled() {
+		if c.Breaker.Cooldown <= 0 {
+			c.Breaker.Cooldown = 8 * c.Timeout
+		}
+		if c.Breaker.HalfOpenProbes <= 0 {
+			c.Breaker.HalfOpenProbes = 1
+		}
+	}
+	if c.RetryBudget.Enabled() && c.RetryBudget.Ratio <= 0 {
+		c.RetryBudget.Ratio = 0.1
+	}
 	return c
 }
 
@@ -94,6 +111,12 @@ func (c Config) Validate() error {
 	}
 	if c.Loss < 0 || c.Loss >= 1 {
 		return fmt.Errorf("broker: loss probability %v outside [0, 1)", c.Loss)
+	}
+	if c.Breaker.Threshold < 0 || c.Breaker.Cooldown < 0 || c.Breaker.HalfOpenProbes < 0 {
+		return fmt.Errorf("broker: negative breaker parameter in %+v", c.Breaker)
+	}
+	if c.RetryBudget.Burst < 0 || c.RetryBudget.Ratio < 0 {
+		return fmt.Errorf("broker: negative retry-budget parameter in %+v", c.RetryBudget)
 	}
 	return nil
 }
@@ -161,17 +184,23 @@ type Handler func(Request) Reply
 
 // netMetrics are the quasaq_ctrl_* series of the control plane.
 type netMetrics struct {
-	sent     [3]*obs.Counter // per-Op messages sent (attempts, not calls)
-	dropped  *obs.Counter
-	timeouts *obs.Counter
-	retries  *obs.Counter
+	sent              [3]*obs.Counter // per-Op messages sent (attempts, not calls)
+	dropped           *obs.Counter
+	timeouts          *obs.Counter
+	retries           *obs.Counter
+	breakerOpens      *obs.Counter
+	breakerFastFails  *obs.Counter
+	retriesSuppressed *obs.Counter
 }
 
 func newNetMetrics(reg *obs.Registry) netMetrics {
 	m := netMetrics{
-		dropped:  reg.Counter("quasaq_ctrl_msgs_dropped_total"),
-		timeouts: reg.Counter("quasaq_ctrl_timeouts_total"),
-		retries:  reg.Counter("quasaq_ctrl_retries_total"),
+		dropped:           reg.Counter("quasaq_ctrl_msgs_dropped_total"),
+		timeouts:          reg.Counter("quasaq_ctrl_timeouts_total"),
+		retries:           reg.Counter("quasaq_ctrl_retries_total"),
+		breakerOpens:      reg.Counter("quasaq_ctrl_breaker_opens_total"),
+		breakerFastFails:  reg.Counter("quasaq_ctrl_breaker_fastfails_total"),
+		retriesSuppressed: reg.Counter("quasaq_ctrl_retries_suppressed_total"),
 	}
 	for op := OpPrepare; op <= OpAbort; op++ {
 		m.sent[op] = reg.Counter("quasaq_ctrl_msgs_total", "op", op.String())
@@ -190,6 +219,8 @@ type Net struct {
 	handlers map[string]Handler
 	down     func(site string) bool
 	met      netMetrics
+	breakers map[string]*siteBreaker
+	tokens   float64 // retry-budget balance
 }
 
 // NewNet creates the control net. reg may be nil (metrics off).
@@ -198,6 +229,7 @@ func NewNet(sim *simtime.Simulator, cfg Config, reg *obs.Registry) (*Net, error)
 		sim:      sim,
 		handlers: make(map[string]Handler),
 		met:      newNetMetrics(reg),
+		breakers: make(map[string]*siteBreaker),
 	}
 	if err := n.SetConfig(cfg); err != nil {
 		return nil, err
@@ -217,6 +249,8 @@ func (n *Net) SetConfig(cfg Config) error {
 	} else {
 		n.rng = nil
 	}
+	n.breakers = make(map[string]*siteBreaker)
+	n.tokens = n.cfg.RetryBudget.Burst
 	return nil
 }
 
@@ -261,6 +295,11 @@ func (n *Net) Call(from, to string, req Request, scope *obs.Scope, done func(Rep
 		done(h(req), nil)
 		return
 	}
+	if n.cfg.Breaker.Enabled() && !n.admitCall(to) {
+		n.met.breakerFastFails.Inc()
+		done(Reply{}, fmt.Errorf("%w: %s unreachable, cooling down", ErrBrokerOpen, to))
+		return
+	}
 	cfg := n.cfg
 	span := scope.Span("ctrl_rpc", map[string]any{
 		"op": req.Op.String(), "to": to, "tx": req.TxID,
@@ -275,6 +314,12 @@ func (n *Net) Call(from, to string, req Request, scope *obs.Scope, done func(Rep
 		if timeoutEv != nil {
 			n.sim.Cancel(timeoutEv)
 			timeoutEv = nil
+		}
+		if cfg.Breaker.Enabled() {
+			n.recordOutcome(to, err == nil)
+		}
+		if err == nil {
+			n.refundRetryToken()
 		}
 		span.SetArg("attempts", attempts)
 		if err != nil {
@@ -323,9 +368,14 @@ func (n *Net) Call(from, to string, req Request, scope *obs.Scope, done func(Rep
 			timeoutEv = nil
 			n.met.timeouts.Inc()
 			if k < cfg.Retries {
-				n.met.retries.Inc()
-				attempt(k + 1)
-				return
+				if n.takeRetryToken() {
+					n.met.retries.Inc()
+					attempt(k + 1)
+					return
+				}
+				// Budget exhausted: fail now rather than add retry
+				// traffic the overloaded control plane cannot absorb.
+				n.met.retriesSuppressed.Inc()
 			}
 			settle(Reply{}, fmt.Errorf("%w: %s %s -> %s after %d attempts",
 				ErrControlTimeout, req.Op, from, to, k+1), k+1)

@@ -28,9 +28,15 @@ type ServiceOptions struct {
 	OnDone func(*Delivery)
 	// OnFailed fires when a delivery is abandoned mid-stream: its session
 	// failed and failover (if enabled) exhausted its budget without finding
-	// a viable plan. The error satisfies errors.Is(err, ErrNoViablePlan)
-	// when failover ran out of plans.
+	// a viable plan, or the QoS guardian shed it (errors.Is(err,
+	// guardian.ErrQoSAbandoned)). The error satisfies errors.Is(err,
+	// ErrNoViablePlan) when failover ran out of plans.
 	OnFailed func(*Delivery, error)
+	// AvoidSites excludes plans whose delivery site is listed — the
+	// guardian's migrate rung re-plans away from a congested site with it.
+	// It applies to this admission only and is not retained on the
+	// delivery, so later failovers consider every site again.
+	AvoidSites []string
 }
 
 // errReservationAbandoned reports a two-phase reservation that completed
@@ -65,6 +71,11 @@ func (m *Manager) Service(querySite string, id media.VideoID, req qos.Requiremen
 // once with the admission outcome, after however many control-plane round
 // trips the two-phase reservations need. On the synchronous control plane
 // done fires before ServiceAsync returns.
+//
+// When an admission queue is configured (ConfigureAdmissionQueue), the
+// request may wait for a slot first and can expire with ErrAdmissionDeadline
+// before any plan is tried; the admission-latency histogram always measures
+// from arrival, queueing included.
 func (m *Manager) ServiceAsync(querySite string, id media.VideoID, req qos.Requirement, opts ServiceOptions, done func(*Delivery, error)) {
 	start := m.cluster.Sim.Now()
 	finish := func(d *Delivery, err error) {
@@ -72,6 +83,18 @@ func (m *Manager) ServiceAsync(querySite string, id media.VideoID, req qos.Requi
 		done(d, err)
 	}
 	m.met.queries.Inc()
+	if m.aq != nil {
+		m.aq.submit(func(conclude func(*Delivery, error)) {
+			m.serviceAdmit(querySite, id, req, opts, conclude)
+		}, finish)
+		return
+	}
+	m.serviceAdmit(querySite, id, req, opts, finish)
+}
+
+// serviceAdmit is the admission pipeline proper, past any queueing: plan
+// candidates, liveness, costing, two-phase reservation, session bind.
+func (m *Manager) serviceAdmit(querySite string, id media.VideoID, req qos.Requirement, opts ServiceOptions, finish func(*Delivery, error)) {
 	m.sessSeq++
 	scope := m.tracer.Scope(querySite, fmt.Sprintf("s%04d %s", m.sessSeq, id))
 	qn, err := m.cluster.Node(querySite)
@@ -112,14 +135,31 @@ func (m *Manager) ServiceAsync(querySite string, id media.VideoID, req qos.Requi
 			ErrNoViablePlan, id, len(plans)))
 		return
 	}
+	if len(opts.AvoidSites) > 0 {
+		live = excludeSites(live, opts.AvoidSites)
+		if len(live) == 0 {
+			m.met.noViablePlan.Inc()
+			scope.Instant("reject", map[string]any{"cause": "all live plans on avoided sites"})
+			finish(nil, fmt.Errorf("%w: every live plan for %s delivers from an avoided site",
+				ErrNoViablePlan, id))
+			return
+		}
+	}
 	rank := scope.Span("cost_rank", map[string]any{"viable": len(live)})
 	next := m.admissionOrder(live)
 	rank.End()
-	d := &Delivery{mgr: m, video: v, req: req, querySite: querySite, opts: opts, trace: scope}
+	// AvoidSites is per-admission: scrub it before the options become the
+	// delivery's, so failover and renegotiation see every site again.
+	dopts := opts
+	dopts.AvoidSites = nil
+	d := &Delivery{mgr: m, video: v, req: req, querySite: querySite, opts: dopts, trace: scope}
 	m.tryPlans(d, next, opts, scope, nil, func(p *Plan, lastErr error) {
 		if p != nil {
 			m.met.admitted.Inc()
 			scope.Instant("admit", map[string]any{"site": p.DeliverySite})
+			if m.onAdmit != nil {
+				m.onAdmit(d)
+			}
 			finish(d, nil)
 			return
 		}
@@ -178,6 +218,25 @@ func (m *Manager) planCandidates(querySite string, v *media.Video, req qos.Requi
 	plans := m.gen.GenerateAll(querySite, v, req)
 	m.cache.Put(querySite, v.ID, req, plans)
 	return plans, false
+}
+
+// excludeSites filters out plans delivering from any listed site, without
+// mutating the input.
+func excludeSites(plans []*Plan, avoid []string) []*Plan {
+	out := make([]*Plan, 0, len(plans))
+	for _, p := range plans {
+		skip := false
+		for _, s := range avoid {
+			if p.DeliverySite == s {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // viable filters out plans touching down sites — the "plan enumeration
@@ -290,7 +349,13 @@ func (m *Manager) bind(d *Delivery, p *Plan, leases []*gara.Lease, opts ServiceO
 		StartFrame:       opts.StartFrame,
 		Trace:            d.trace,
 	}
-	sess, err := transport.StartReserved(m.cluster.Sim, deliveryNode, cfg, lease, func(*transport.Session) {
+	sess, err := transport.StartReserved(m.cluster.Sim, deliveryNode, cfg, lease, func(s *transport.Session) {
+		// A resume at the video's end finishes synchronously inside
+		// StartReserved, before bind assigns d.Session — publish the
+		// session first so OnDone never sees a nil one.
+		if d.Session == nil {
+			d.Session = s
+		}
 		m.cluster.sessionEnded()
 		d.streamSpan.End()
 		d.trace.Instant("teardown", nil)

@@ -231,7 +231,12 @@ func (m *Manager) bestEffortFallback(d *Delivery, attempt int) bool {
 			StartFrame:  d.resumeFrom,
 			Trace:       d.trace,
 		}
-		sess, err := transport.StartBestEffort(m.cluster.Sim, node, cfg, func(*transport.Session) {
+		sess, err := transport.StartBestEffort(m.cluster.Sim, node, cfg, func(s *transport.Session) {
+			// A resume at the video's end finishes synchronously inside
+			// StartBestEffort, before d.Session is assigned below.
+			if d.Session == nil {
+				d.Session = s
+			}
 			m.cluster.sessionEnded()
 			d.streamSpan.End()
 			d.trace.Instant("teardown", nil)

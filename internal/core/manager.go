@@ -106,6 +106,29 @@ func (d *Delivery) Failed() bool { return d.failed }
 // After an unrecoverable fault it satisfies errors.Is(err, ErrNoViablePlan).
 func (d *Delivery) Err() error { return d.err }
 
+// Observed snapshots the live session's observed QoS — delivered frame
+// delay, jitter, and loss/shed fractions. Zero when no session is bound
+// (e.g. mid-failover). This is the one source of truth the guardian and the
+// experiments read.
+func (d *Delivery) Observed() transport.ObservedQoS {
+	if d.Session == nil {
+		return transport.ObservedQoS{}
+	}
+	return d.Session.Observed()
+}
+
+// Trace returns the delivery's trace scope (nil when tracing is off; all
+// scope methods are nil-safe no-ops).
+func (d *Delivery) Trace() *obs.Scope { return d.trace }
+
+// QuerySite returns the site the query arrived at.
+func (d *Delivery) QuerySite() string { return d.querySite }
+
+// ServiceOptions returns a copy of the options the delivery was admitted
+// with, so a re-plan (guardian renegotiation/migration) inherits the
+// original OnDone/OnFailed wiring.
+func (d *Delivery) ServiceOptions() ServiceOptions { return d.opts }
+
 // Cancel aborts the delivery and releases every resource, including any
 // pending failover attempt. Idempotent.
 func (d *Delivery) Cancel() {
@@ -246,6 +269,11 @@ type Manager struct {
 
 	failover   *FailoverPolicy
 	onFailover func(FailoverEvent)
+
+	// onAdmit observes every successful admission (the guardian's hook for
+	// starting a monitor); aq, when non-nil, bounds concurrent admissions.
+	onAdmit func(*Delivery)
+	aq      *admissionQueue
 }
 
 // NewManager wires a quality manager to a cluster with a cost model.
@@ -300,6 +328,31 @@ func (m *Manager) Stats() ManagerStats {
 
 // Registry exposes the cluster-wide metrics registry.
 func (m *Manager) Registry() *obs.Registry { return m.cluster.Obs }
+
+// Sim exposes the cluster's simulator clock.
+func (m *Manager) Sim() *simtime.Simulator { return m.cluster.Sim }
+
+// SetAdmissionObserver installs fn to be called with every successfully
+// admitted delivery, immediately after its session starts. One observer;
+// the QoS guardian uses it to begin monitoring.
+func (m *Manager) SetAdmissionObserver(fn func(*Delivery)) { m.onAdmit = fn }
+
+// AbandonDelivery sheds a live delivery administratively with the given
+// cause — the guardian's final ladder rung. The session is cancelled, the
+// delivery marked failed with Err() = cause, and the OnFailed hook fired.
+// No-op on an already-failed delivery.
+func (m *Manager) AbandonDelivery(d *Delivery, cause error) {
+	if d.failed {
+		return
+	}
+	d.Cancel()
+	d.failed = true
+	d.err = cause
+	d.trace.Instant("abandon", map[string]any{"cause": cause.Error()})
+	if d.opts.OnFailed != nil {
+		d.opts.OnFailed(d, cause)
+	}
+}
 
 // EnableTracing starts recording per-session pipeline spans on the virtual
 // clock. Idempotent; spans accumulate until exported via Tracer.

@@ -15,6 +15,7 @@
 //	120s      node-crash     srv-b
 //	300s      node-restart   srv-b
 //	50s       link-degrade   srv-a    0.5
+//	80s       link-congest   srv-a    0.6
 //	400s      link-restore   srv-a
 //	200s      link-partition srv-c
 //	250s      lease-revoke   srv-a
@@ -53,6 +54,7 @@ const (
 	LinkDegrade
 	LinkRestore
 	LinkPartition
+	LinkCongest
 	LeaseRevoke
 )
 
@@ -69,6 +71,8 @@ func (k Kind) String() string {
 		return "link-restore"
 	case LinkPartition:
 		return "link-partition"
+	case LinkCongest:
+		return "link-congest"
 	case LeaseRevoke:
 		return "lease-revoke"
 	default:
@@ -82,6 +86,7 @@ var kindNames = map[string]Kind{
 	"link-degrade":   LinkDegrade,
 	"link-restore":   LinkRestore,
 	"link-partition": LinkPartition,
+	"link-congest":   LinkCongest,
 	"lease-revoke":   LeaseRevoke,
 }
 
@@ -90,12 +95,12 @@ type Event struct {
 	At     simtime.Time
 	Kind   Kind
 	Target string  // node name (links register under their node's name)
-	Factor float64 // LinkDegrade only: effective capacity fraction in (0,1]
+	Factor float64 // LinkDegrade/LinkCongest only: rate fraction in (0,1]
 }
 
 // String renders the event in the schedule text format.
 func (e Event) String() string {
-	if e.Kind == LinkDegrade {
+	if e.Kind == LinkDegrade || e.Kind == LinkCongest {
 		return fmt.Sprintf("%v %s %s %g", e.At, e.Kind, e.Target, e.Factor)
 	}
 	return fmt.Sprintf("%v %s %s", e.At, e.Kind, e.Target)
@@ -116,9 +121,9 @@ func (s Schedule) Validate() error {
 		}
 		switch e.Kind {
 		case NodeCrash, NodeRestart, LinkRestore, LinkPartition, LeaseRevoke:
-		case LinkDegrade:
+		case LinkDegrade, LinkCongest:
 			if e.Factor <= 0 || e.Factor > 1 {
-				return fmt.Errorf("faults: event %d: degrade factor %v outside (0,1]", i, e.Factor)
+				return fmt.Errorf("faults: event %d: %v factor %v outside (0,1]", i, e.Kind, e.Factor)
 			}
 		default:
 			return fmt.Errorf("faults: event %d: unknown kind %d", i, int(e.Kind))
@@ -161,9 +166,9 @@ func ParseSchedule(text string) (Schedule, error) {
 			return nil, fmt.Errorf("faults: line %d: unknown fault kind %q", lineNo+1, fields[1])
 		}
 		e := Event{At: at, Kind: kind, Target: fields[2]}
-		if kind == LinkDegrade {
+		if kind == LinkDegrade || kind == LinkCongest {
 			if len(fields) < 4 {
-				return nil, fmt.Errorf("faults: line %d: link-degrade needs a factor", lineNo+1)
+				return nil, fmt.Errorf("faults: line %d: %v needs a factor", lineNo+1, kind)
 			}
 			f, err := strconv.ParseFloat(fields[3], 64)
 			if err != nil {
@@ -255,6 +260,13 @@ func (in *Injector) fire(e Event) {
 	case LinkPartition:
 		if l, ok := in.links[e.Target]; ok && !l.Down() {
 			l.Partition()
+			applied = true
+		}
+	case LinkCongest:
+		// Soft congestion: reservations stay booked but achieved rates
+		// drop. link-restore (or link-congest with factor 1) clears it.
+		if l, ok := in.links[e.Target]; ok && !l.Down() {
+			l.Congest(e.Factor)
 			applied = true
 		}
 	case LeaseRevoke:

@@ -372,6 +372,12 @@ func (l *Lease) Vector() qos.ResourceVector { return l.vec }
 // lease reserved no CPU.
 func (l *Lease) CPUJob() *cpusched.Job { return l.cpuJob }
 
+// NetReservation returns the link bandwidth reservation backing the lease,
+// or nil when the lease reserved no bandwidth. Sessions read its effective
+// (congestion-adjusted) rate to pace delivery at what the network actually
+// carries rather than what was booked.
+func (l *Lease) NetReservation() *netsim.Reservation { return l.netResv }
+
 // Release returns every resource to the node. Idempotent: double release
 // (and release after revocation) is a no-op, so CPU jobs and link
 // reservations are never returned twice.

@@ -1,0 +1,68 @@
+package guardian
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"quasaq/internal/simtime"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Interval != simtime.Seconds(2) || c.BreachWindows != 3 || c.ClearWindows != 2 {
+		t.Fatalf("window defaults = %+v", c)
+	}
+	if c.DelayFactor != 1.25 || c.JitterFactor != 1.0 || c.MaxLoss != 0.05 || c.MinSamples != 6 {
+		t.Fatalf("threshold defaults = %+v", c)
+	}
+	want := []Rung{RungStepDown, RungRenegotiate, RungMigrate, RungAbandon}
+	if len(c.Ladder) != len(want) {
+		t.Fatalf("ladder = %v", c.Ladder)
+	}
+	for i, r := range want {
+		if c.Ladder[i] != r {
+			t.Fatalf("ladder = %v, want %v", c.Ladder, want)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, bad := range []Config{
+		{BreachWindows: -1},
+		{MaxLoss: 1.5},
+		{DelayFactor: -1},
+		{Ladder: []Rung{Rung(9)}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", bad)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+}
+
+func TestStatsSaved(t *testing.T) {
+	s := Stats{SavedStepDown: 2, SavedRenegotiate: 3, SavedMigrate: 5}
+	if s.Saved() != 10 {
+		t.Fatalf("Saved() = %d, want 10", s.Saved())
+	}
+}
+
+func TestViolationErrorChain(t *testing.T) {
+	v := &Violation{Metric: MetricLoss, Observed: 0.4, Threshold: 0.05, Windows: 3, Site: "srv-a", Video: "clip"}
+	if !strings.Contains(v.Error(), "loss") || !strings.Contains(v.Error(), "srv-a") {
+		t.Fatalf("violation text = %q", v.Error())
+	}
+	// The abandonment chain shape: sentinel wrapping the violation.
+	err := fmt.Errorf("%w: %w", ErrQoSAbandoned, v)
+	if !errors.Is(err, ErrQoSAbandoned) {
+		t.Fatalf("chain misses sentinel: %v", err)
+	}
+	var got *Violation
+	if !errors.As(err, &got) || got.Metric != MetricLoss {
+		t.Fatalf("chain misses violation: %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+package mpeg
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"quasaq/internal/media"
+	"quasaq/internal/qos"
+	"quasaq/internal/simtime"
+)
+
+// fuzzSeeds builds the seed corpus: well-formed clips at a few quality
+// points plus systematic mutations of one of them (truncations and
+// bit-flips at layer boundaries), so coverage starts inside every parser
+// state rather than at random garbage.
+func fuzzSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	video := &media.Video{
+		ID:        1,
+		Title:     "fuzz-clip",
+		Duration:  simtime.Seconds(2),
+		FrameRate: 24,
+		GOP:       media.DefaultGOP(),
+		Seed:      7,
+	}
+	var seeds [][]byte
+	for _, q := range []qos.AppQoS{
+		{Resolution: qos.ResQCIF, ColorDepth: 8, FrameRate: 24, Format: qos.FormatMPEG1},
+		{Resolution: qos.ResCIF, ColorDepth: 16, FrameRate: 24, Format: qos.FormatMPEG1},
+		{Resolution: qos.ResVCD, ColorDepth: 24, FrameRate: 24, Format: qos.FormatMPEG1, Security: qos.SecurityStrong},
+	} {
+		var buf bytes.Buffer
+		if err := Encode(&buf, video, media.NewVariant(q), 0); err != nil {
+			f.Fatalf("encode seed: %v", err)
+		}
+		seeds = append(seeds, buf.Bytes())
+	}
+	base := seeds[0]
+	// Truncations: mid-header, mid-GOP-header, mid-picture-header, mid-payload.
+	for _, cut := range []int{3, 11, 19, 24, 31, len(base) / 2, len(base) - 3} {
+		if cut < len(base) {
+			seeds = append(seeds, base[:cut])
+		}
+	}
+	// Bit flips across the early structure (header, first GOP, first picture).
+	for pos := 0; pos < 40 && pos < len(base); pos += 5 {
+		mut := bytes.Clone(base)
+		mut[pos] ^= 0x80
+		seeds = append(seeds, mut)
+	}
+	// A hostile picture size field: claims ~4 GiB of payload.
+	huge := bytes.Clone(base)
+	copy(huge[27:31], []byte{0xff, 0xff, 0xff, 0xff})
+	seeds = append(seeds, huge)
+	return seeds
+}
+
+// FuzzParser feeds arbitrary bytes through the full sequence/GOP/picture
+// walk. The parser must be total: every input either parses or fails with
+// ErrCorrupt — no panics, no unbounded allocation, and honest accounting
+// (frames returned are self-consistent with the GOP index).
+func FuzzParser(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := NewParser(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("NewParser error outside taxonomy: %v", err)
+			}
+			return
+		}
+		if p.Info().GOPLen <= 0 {
+			t.Fatalf("parser accepted GOP length %d", p.Info().GOPLen)
+		}
+		frames := 0
+		var terminal error
+		for {
+			fr, err := p.NextFrame()
+			if err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, ErrCorrupt) {
+					terminal = err
+					break
+				}
+				t.Fatalf("NextFrame error outside taxonomy: %v", err)
+			}
+			if fr.Index != frames {
+				t.Fatalf("frame index %d out of order (want %d)", fr.Index, frames)
+			}
+			if fr.Kind > media.FrameB {
+				t.Fatalf("parser returned invalid frame kind %d", fr.Kind)
+			}
+			if fr.Size() > maxFrameSize {
+				t.Fatalf("frame of %d bytes exceeds the parser's own limit", fr.Size())
+			}
+			if p.GOPIndex() < 0 {
+				t.Fatalf("negative GOP index %d", p.GOPIndex())
+			}
+			frames++
+		}
+		// A clean sequence end latches the parser: reads past it stay EOF.
+		if errors.Is(terminal, io.EOF) {
+			if _, err := p.NextFrame(); !errors.Is(err, io.EOF) {
+				t.Fatalf("read past sequence end: err = %v, want io.EOF", err)
+			}
+		}
+	})
+}

@@ -35,6 +35,12 @@ const (
 // ErrCorrupt reports a malformed bitstream.
 var ErrCorrupt = errors.New("mpeg: corrupt bitstream")
 
+// maxFrameSize bounds a single picture's coded payload (16 MiB). Real
+// frames in this format stay far below it; anything larger is a corrupt or
+// hostile size field, and rejecting it keeps the parser's allocation
+// proportional to honest input rather than to a 4 GiB header claim.
+const maxFrameSize = 1 << 24
+
 // StreamInfo is the decoded sequence-layer header.
 type StreamInfo struct {
 	Quality    qos.AppQoS
@@ -263,6 +269,9 @@ func (p *Parser) NextFrame() (Frame, error) {
 				return Frame{}, fmt.Errorf("%w: bad picture type %d", ErrCorrupt, ph[0])
 			}
 			size := int(binary.BigEndian.Uint32(ph[1:5]))
+			if size > maxFrameSize {
+				return Frame{}, fmt.Errorf("%w: picture size %d exceeds %d-byte limit", ErrCorrupt, size, maxFrameSize)
+			}
 			payload := make([]byte, size)
 			if _, err := io.ReadFull(p.r, payload); err != nil {
 				return Frame{}, fmt.Errorf("%w: truncated picture payload", ErrCorrupt)

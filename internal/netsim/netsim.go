@@ -48,9 +48,10 @@ type Link struct {
 	capacity float64 // effective capacity (base x degradation factor)
 	down     bool
 
-	reserved float64
-	resvs    []*Reservation // live reservations, oldest first
-	flows    []*Flow
+	reserved   float64
+	resvs      []*Reservation // live reservations, oldest first
+	flows      []*Flow
+	congestion float64 // achieved-rate factor in (0,1]; 1 = uncongested
 
 	watchers []func(LinkEvent)
 
@@ -71,7 +72,7 @@ func NewLink(sim *simtime.Simulator, name string, capacity float64) *Link {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("netsim: non-positive capacity %v", capacity))
 	}
-	return &Link{sim: sim, name: name, base: capacity, capacity: capacity}
+	return &Link{sim: sim, name: name, base: capacity, capacity: capacity, congestion: 1}
 }
 
 // Name returns the link's diagnostic name.
@@ -151,6 +152,17 @@ func (r *Reservation) Rate() float64 { return r.rate }
 // Revoked reports whether the link withdrew the reservation (fault path),
 // as opposed to the holder releasing it.
 func (r *Reservation) Revoked() bool { return r.revoked }
+
+// EffectiveRate returns the rate the reservation actually achieves: the
+// booked rate on an uncongested link, or its max-min fair share of the
+// congested capacity (zero once released). This is the observable the QoS
+// guardian samples — the guarantee as experienced, not as booked.
+func (r *Reservation) EffectiveRate() float64 {
+	if r.released {
+		return 0
+	}
+	return r.link.effectiveResvRate(r)
+}
 
 // SetOnRevoke registers a callback fired when the link withdraws the
 // reservation because of a fault (partition or degradation below the
@@ -255,11 +267,85 @@ func (l *Link) Partition() {
 	l.notify()
 }
 
-// Restore clears any partition or degradation, returning the link to its
-// configured capacity.
+// Congest models cross-traffic squeezing the link's achieved throughput to
+// factor x the effective capacity without invalidating admission state.
+// Unlike Degrade, no reservation is revoked: the bookings stand, but the
+// rates actually achieved drop — the paper's deployment had no DiffServ
+// ("only admission control is performed in network management"), so nothing
+// polices the queues when external traffic appears. Reserved streams split
+// the congested capacity max-min fairly among themselves (smaller
+// reservations still fit in full); best-effort flows share any remainder.
+// factor must be in (0,1]; Congest(1) or Restore clears the congestion.
+func (l *Link) Congest(factor float64) {
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("netsim: congestion factor %v outside (0,1]", factor))
+	}
+	if factor == l.congestion {
+		return
+	}
+	l.congestion = factor
+	if factor < 1 {
+		l.mFaults.Inc()
+	}
+	l.recompute()
+	l.notify()
+}
+
+// CongestionFactor returns the current congestion factor (1 when clear).
+func (l *Link) CongestionFactor() float64 { return l.congestion }
+
+// Congested reports whether cross-traffic is squeezing achieved rates.
+func (l *Link) Congested() bool { return l.congestion < 1 }
+
+// effectiveCapacity is the throughput actually achievable right now:
+// capacity scaled by congestion.
+func (l *Link) effectiveCapacity() float64 { return l.capacity * l.congestion }
+
+// reservedEffective returns the total rate reserved streams actually
+// achieve: the full booked total when uncongested, otherwise capped by the
+// congested capacity (the max-min split over reservations sums to exactly
+// this).
+func (l *Link) reservedEffective() float64 {
+	eff := l.effectiveCapacity()
+	if l.reserved < eff {
+		return l.reserved
+	}
+	return eff
+}
+
+// effectiveResvRate waterfills the congested capacity over the live
+// reservations (ascending booked rate — max-min fairness, so the smallest
+// bookings are satisfied in full first) and returns target's share. On an
+// uncongested link this is exactly the booked rate.
+func (l *Link) effectiveResvRate(target *Reservation) float64 {
+	if l.congestion >= 1 {
+		return target.rate
+	}
+	n := len(l.resvs)
+	order := make([]*Reservation, n)
+	copy(order, l.resvs)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].rate < order[j].rate })
+	remaining := l.effectiveCapacity()
+	for i, r := range order {
+		share := remaining / float64(n-i)
+		rate := r.rate
+		if rate > share {
+			rate = share
+		}
+		remaining -= rate
+		if r == target {
+			return rate
+		}
+	}
+	return 0
+}
+
+// Restore clears any partition, degradation, or congestion, returning the
+// link to its configured capacity.
 func (l *Link) Restore() {
 	l.down = false
 	l.capacity = l.base
+	l.congestion = 1
 	l.mCapacity.Set(l.capacity)
 	l.recompute()
 	l.notify()
@@ -345,6 +431,11 @@ func (l *Link) recomputeExcept(quiet *Flow) {
 		return
 	}
 	avail := l.Available()
+	if l.congestion < 1 {
+		// Under congestion, best-effort flows see only what the congested
+		// capacity leaves after the reserved streams' achieved rates.
+		avail = l.effectiveCapacity() - l.reservedEffective()
+	}
 	if avail < 0 {
 		avail = 0
 	}

@@ -78,6 +78,16 @@ func (DropStrategy) bIndex(gop media.GOPPattern, i int) int {
 	return n
 }
 
+// NextHarsher returns the next more aggressive strategy after d, or
+// (d, false) when d already drops everything but I frames — the guardian's
+// step-down rung walks this until it runs out.
+func NextHarsher(d DropStrategy) (DropStrategy, bool) {
+	if d >= DropBAndP {
+		return d, false
+	}
+	return d + 1, true
+}
+
 // ByteFactor returns the fraction of stream bytes that survive the
 // strategy, in expectation over one GOP of the given variant. The plan
 // generator uses it to size the network reservation of plans with frame

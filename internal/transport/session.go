@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"math"
 
 	"quasaq/internal/cpusched"
 	"quasaq/internal/gara"
@@ -119,6 +120,7 @@ type Session struct {
 	lastDone   simtime.Time
 	haveDone   bool
 	delayStats stats.Summary // inter-frame delays, milliseconds
+	jitterSum  float64       // sum of |delay - ideal| over delay samples, ms
 
 	// Client-side accounting, active when cfg.Path is set.
 	pathRng        *simtime.Rand
@@ -265,10 +267,12 @@ func (s *Session) scheduleGOP() {
 	// Window: the ideal GOP interval. The stream is clock-paced (UDP
 	// semantics): when the achieved link share cannot carry the kept bytes
 	// within the window, the excess is lost, not delayed. Loss applies to
-	// best-effort flows only — a reservation covers the stream's mean rate
-	// and client-side buffering absorbs VBR excursions around it.
+	// best-effort flows always, and to reserved sessions only while link
+	// congestion squeezes the achieved rate below the booking — an
+	// uncongested reservation covers the stream's mean rate and client-side
+	// buffering absorbs VBR excursions around it.
 	window := simtime.Time(float64(v.GOPInterval()) * float64(last-first) / float64(v.GOP.Len()))
-	if rate := s.currentRate(); s.flow != nil && rate > 0 && window > 0 {
+	if rate := s.currentRate(); rate > 0 && window > 0 && (s.flow != nil || rate < s.rate-1e-9) {
 		carriable := rate * simtime.ToSeconds(window)
 		if carriable < keptBytes {
 			lossFrac := 1 - carriable/keptBytes
@@ -305,6 +309,11 @@ func (s *Session) currentRate() float64 {
 	if s.flow != nil {
 		return s.flow.Rate()
 	}
+	if s.lease != nil {
+		if r := s.lease.NetReservation(); r != nil {
+			return r.EffectiveRate()
+		}
+	}
 	return s.rate
 }
 
@@ -337,7 +346,11 @@ func (s *Session) frameDone(size int, at simtime.Time) {
 	s.mFramesSent.Inc()
 	s.mBytesSent.Add(uint64(size))
 	if s.haveDone {
-		s.delayStats.Add(simtime.ToSeconds(at-s.lastDone) * 1000)
+		d := simtime.ToSeconds(at-s.lastDone) * 1000
+		s.delayStats.Add(d)
+		if ideal := s.IdealInterFrameMillis(); ideal > 0 {
+			s.jitterSum += math.Abs(d - ideal)
+		}
 	}
 	s.haveDone = true
 	s.lastDone = at
@@ -483,6 +496,68 @@ func (s *Session) LossRatio() float64 {
 // DelayStats returns the running summary of inter-frame delays in
 // milliseconds (always collected, unlike the bounded trace).
 func (s *Session) DelayStats() *stats.Summary { return &s.delayStats }
+
+// ObservedQoS is the per-session observed-QoS surface: delivered frame
+// delays, jitter, and loss/shed accounting as cumulative values since the
+// session started. It is the one source of truth the guardian and the
+// experiments read; windowed rates fall out of differencing two snapshots.
+type ObservedQoS struct {
+	Frames           int     // frames delivered (server-side completions)
+	Delays           int     // inter-frame delay samples collected
+	DelaySumMillis   float64 // sum of inter-frame delays, ms
+	MeanDelayMillis  float64 // DelaySumMillis / Delays (0 with no samples)
+	MaxDelayMillis   float64 // largest inter-frame delay seen, ms
+	JitterSumMillis  float64 // sum of |delay - ideal| over samples, ms
+	JitterMillis     float64 // mean absolute deviation from ideal delay, ms
+	IdealDelayMillis float64 // current ideal inter-frame delay (drop-adjusted)
+	FramesLost       float64 // lost to link saturation (fractional, per GOP)
+	FramesShed       int     // dropped at the server under CPU backlog
+	LossFraction     float64 // (lost+shed) / (delivered+lost+shed)
+}
+
+// Observed snapshots the session's observed QoS.
+func (s *Session) Observed() ObservedQoS {
+	o := ObservedQoS{
+		Frames:           s.framesSent,
+		Delays:           s.delayStats.N(),
+		MaxDelayMillis:   s.delayStats.Max(),
+		JitterSumMillis:  s.jitterSum,
+		IdealDelayMillis: s.IdealInterFrameMillis(),
+		FramesLost:       s.framesLost,
+		FramesShed:       s.framesShed,
+		LossFraction:     s.LossRatio(),
+	}
+	if o.Delays > 0 {
+		o.MeanDelayMillis = s.delayStats.Mean()
+		o.DelaySumMillis = o.MeanDelayMillis * float64(o.Delays)
+		o.JitterMillis = s.jitterSum / float64(o.Delays)
+	} else {
+		o.MaxDelayMillis = 0
+	}
+	return o
+}
+
+// Drop returns the session's current frame-dropping strategy.
+func (s *Session) Drop() DropStrategy { return s.cfg.Drop }
+
+// StepDown swaps the frame-dropping strategy mid-stream, effective from the
+// next GOP — the guardian's first degradation rung. A best-effort session's
+// flow demand is resized to the surviving byte rate; a reserved session
+// keeps its booking (the point of dropping is to fit the kept bytes under a
+// congestion-squeezed achieved rate). No-op on a finished session.
+func (s *Session) StepDown(d DropStrategy) {
+	if s.done || d == s.cfg.Drop {
+		return
+	}
+	s.cfg.Drop = d
+	if s.flow != nil {
+		demand := s.cfg.Variant.Bitrate * d.ByteFactor(s.cfg.Video, s.cfg.Variant)
+		if demand <= 0 {
+			demand = 1
+		}
+		s.flow.SetDemand(demand)
+	}
+}
 
 // IdealInterFrameMillis returns the ideal inter-frame delay of the
 // delivered stream — "the reciprocal of the frame rate" (§5) adjusted for

@@ -35,6 +35,15 @@ func Tiers() []qop.QoP {
 	}
 }
 
+// Phase is one segment of a piecewise-constant arrival-rate schedule: for
+// Duration, queries arrive at Rate times the configured base rate (so a
+// ramp like {1, 6, 15, 6, 1} models load climbing past capacity and
+// receding).
+type Phase struct {
+	Rate     float64
+	Duration simtime.Time
+}
+
 // Config parameterizes a generator.
 type Config struct {
 	Seed             int64
@@ -43,6 +52,10 @@ type Config struct {
 	MeanInterArrival simtime.Time // default 1 s, the paper's rate
 	// ZipfSkew skews video popularity; 0 keeps the paper's uniform access.
 	ZipfSkew float64
+	// Phases, when non-empty, modulates the arrival rate over virtual time.
+	// After the last phase elapses its rate persists. Empty keeps the
+	// paper's homogeneous Poisson stream.
+	Phases []Phase
 }
 
 // Generator produces a deterministic Poisson query stream.
@@ -65,6 +78,11 @@ func New(cfg Config) *Generator {
 	if cfg.MeanInterArrival <= 0 {
 		cfg.MeanInterArrival = simtime.Seconds(1)
 	}
+	for _, p := range cfg.Phases {
+		if p.Rate <= 0 || p.Duration <= 0 {
+			panic("workload: phases need positive rate and duration")
+		}
+	}
 	g := &Generator{
 		cfg:     cfg,
 		rng:     simtime.NewRand(cfg.Seed),
@@ -79,9 +97,28 @@ func New(cfg Config) *Generator {
 	return g
 }
 
+// phaseMean returns the mean inter-arrival time in effect at virtual time t:
+// the base mean divided by the active phase's rate multiplier.
+func (g *Generator) phaseMean(t simtime.Time) simtime.Time {
+	mean := g.cfg.MeanInterArrival
+	if len(g.cfg.Phases) == 0 {
+		return mean
+	}
+	rate := g.cfg.Phases[len(g.cfg.Phases)-1].Rate // persists past the schedule
+	var edge simtime.Time
+	for _, p := range g.cfg.Phases {
+		edge += p.Duration
+		if t < edge {
+			rate = p.Rate
+			break
+		}
+	}
+	return simtime.Time(float64(mean) / rate)
+}
+
 // Next draws the next request. Arrival times are strictly increasing.
 func (g *Generator) Next() Request {
-	g.now += g.rng.ExpDur(g.cfg.MeanInterArrival)
+	g.now += g.rng.ExpDur(g.phaseMean(g.now))
 	tier := g.rng.Intn(len(g.tiers))
 	g.count++
 	return Request{

@@ -26,6 +26,7 @@ import (
 	"quasaq/internal/core"
 	"quasaq/internal/faults"
 	"quasaq/internal/gara"
+	"quasaq/internal/guardian"
 	"quasaq/internal/media"
 	"quasaq/internal/netsim"
 	"quasaq/internal/obs"
@@ -85,6 +86,39 @@ type (
 	// prepare TTL bounding orphaned reservations. The zero value is the
 	// synchronous direct-call path.
 	ControlPlaneConfig = broker.Config
+	// BreakerConfig tunes the per-site control-RPC circuit breakers
+	// (ControlPlaneConfig.Breaker); the zero value disables them.
+	BreakerConfig = broker.BreakerConfig
+	// RetryBudgetConfig bounds global control-RPC retry traffic
+	// (ControlPlaneConfig.RetryBudget); the zero value disables it.
+	RetryBudgetConfig = broker.RetryBudgetConfig
+	// AdmissionQueueConfig tunes the deadline-aware admission queue; the
+	// zero value disables queueing.
+	AdmissionQueueConfig = core.AdmissionQueueConfig
+	// GuardianConfig tunes the runtime QoS guardian (sampling window,
+	// hysteresis, thresholds, degradation ladder).
+	GuardianConfig = guardian.Config
+	// GuardianStats is the guardian's counter snapshot.
+	GuardianStats = guardian.Stats
+	// GuardianRung identifies one degradation-ladder step.
+	GuardianRung = guardian.Rung
+	// QoSViolation is a declared runtime QoS breach; abandonment errors
+	// carry it (errors.As).
+	QoSViolation = guardian.Violation
+	// GuardianEvent is one guardian action (breach, violation, ladder rung,
+	// recovery, save), delivered to the OnGuardianEvent observer.
+	GuardianEvent = guardian.Event
+	// ObservedQoS is a session's observed-QoS snapshot (delay, jitter,
+	// loss), read via Delivery.Observed.
+	ObservedQoS = transport.ObservedQoS
+)
+
+// Degradation-ladder rungs for custom GuardianConfig.Ladder values.
+const (
+	GuardianStepDown    = guardian.RungStepDown
+	GuardianRenegotiate = guardian.RungRenegotiate
+	GuardianMigrate     = guardian.RungMigrate
+	GuardianAbandon     = guardian.RungAbandon
 )
 
 // TestbedControlPlane returns realistic LAN control-plane parameters (5 ms
@@ -127,6 +161,7 @@ const (
 	FaultLinkDegrade   = faults.LinkDegrade
 	FaultLinkRestore   = faults.LinkRestore
 	FaultLinkPartition = faults.LinkPartition
+	FaultLinkCongest   = faults.LinkCongest
 	FaultLeaseRevoke   = faults.LeaseRevoke
 )
 
@@ -186,11 +221,12 @@ type Options struct {
 
 // DB is a QoS-aware multimedia database instance on a virtual clock.
 type DB struct {
-	sim     *simtime.Simulator
-	cluster *core.Cluster
-	manager *core.Manager
-	policy  replication.Policy
-	dynamic *replication.Dynamic
+	sim      *simtime.Simulator
+	cluster  *core.Cluster
+	manager  *core.Manager
+	policy   replication.Policy
+	dynamic  *replication.Dynamic
+	guardian *guardian.Guardian
 }
 
 // Open creates an empty database.
@@ -391,8 +427,19 @@ var (
 	// budget (partition, loss); found on ErrRejected chains via errors.Is.
 	ErrControlTimeout = core.ErrControlTimeout
 	// ErrAsyncControl: a synchronous entry point (Deliver, Renegotiate) was
-	// called while the control plane has latency or loss; use DeliverAsync.
+	// called while the control plane has latency or loss; use DeliverAsync
+	// or RenegotiateAsync.
 	ErrAsyncControl = core.ErrAsyncControl
+	// ErrQoSAbandoned: the runtime guardian shed a session after the
+	// degradation ladder ran out; the chain carries the violated metric as
+	// a *QoSViolation (errors.As).
+	ErrQoSAbandoned = guardian.ErrQoSAbandoned
+	// ErrBrokerOpen: a control call was fast-failed by an open per-site
+	// circuit breaker; found on ErrRejected chains via errors.Is.
+	ErrBrokerOpen = broker.ErrBrokerOpen
+	// ErrAdmissionDeadline: the request expired in the admission queue
+	// before any plan was tried.
+	ErrAdmissionDeadline = core.ErrAdmissionDeadline
 )
 
 // DefaultFailoverPolicy returns the standard heartbeat detector with
@@ -498,9 +545,83 @@ func (db *DB) DeliverQoP(site string, prof *Profile, q QoP, id VideoID, maxAlter
 }
 
 // Renegotiate re-plans a live delivery under a new requirement (user QoP
-// change during playback, §3.2).
+// change during playback, §3.2). Like Deliver, it requires the synchronous
+// control plane and returns ErrAsyncControl otherwise — use
+// RenegotiateAsync.
 func (db *DB) Renegotiate(d *Delivery, req Requirement) (*Delivery, error) {
 	return db.manager.Renegotiate(d, req, core.ServiceOptions{})
+}
+
+// RenegotiateAsync is Renegotiate in continuation-passing form: done fires
+// exactly once with the re-planned delivery (or the restored original
+// alongside the upgrade error, or nil when both failed), after however many
+// control-plane round trips the reservations take.
+func (db *DB) RenegotiateAsync(d *Delivery, req Requirement, done func(*Delivery, error)) {
+	db.manager.RenegotiateAsync(d, req, core.ServiceOptions{}, done)
+}
+
+// EnableGuardian starts the runtime QoS guardian: every delivery admitted
+// from now on is sampled against its admitted requirement on the virtual
+// clock, and sustained violations walk the graceful degradation ladder
+// (step-down, renegotiate, migrate, abandon with ErrQoSAbandoned). Pass the
+// zero GuardianConfig for defaults. Errors if already enabled.
+func (db *DB) EnableGuardian(cfg GuardianConfig) error {
+	if db.guardian != nil {
+		return errors.New("quasaq: guardian already enabled")
+	}
+	g, err := guardian.New(db.manager, cfg)
+	if err != nil {
+		return err
+	}
+	db.guardian = g
+	return nil
+}
+
+// OnGuardianEvent installs fn to receive every guardian event — window
+// breaches, declared violations, ladder rungs firing, recoveries, and
+// saves. Call after EnableGuardian; nil disables.
+func (db *DB) OnGuardianEvent(fn func(GuardianEvent)) error {
+	if db.guardian == nil {
+		return errors.New("quasaq: guardian not enabled")
+	}
+	db.guardian.SetObserver(fn)
+	return nil
+}
+
+// GuardianStats returns the guardian's counters (zero value when
+// EnableGuardian was never called).
+func (db *DB) GuardianStats() GuardianStats {
+	if db.guardian == nil {
+		return GuardianStats{}
+	}
+	return db.guardian.Stats()
+}
+
+// ConfigureAdmissionQueue installs (or removes, with the zero config) the
+// deadline-aware admission queue: at most MaxInFlight admissions run their
+// plan pipeline concurrently, at most MaxQueue wait (oldest displaced), and
+// waiters expire with ErrAdmissionDeadline after Deadline.
+func (db *DB) ConfigureAdmissionQueue(cfg AdmissionQueueConfig) error {
+	return db.manager.ConfigureAdmissionQueue(cfg)
+}
+
+// CongestLink squeezes a site's outbound link to factor (0,1] of its
+// effective capacity with cross traffic: reservations stay booked but
+// achieved rates drop — the observable drift the guardian reacts to.
+// UncongestLink (or RestoreLink) clears it.
+func (db *DB) CongestLink(site string, factor float64) error {
+	n, err := db.cluster.Node(site)
+	if err != nil {
+		return err
+	}
+	n.Link().Congest(factor)
+	return nil
+}
+
+// UncongestLink clears cross-traffic congestion on a site's outbound link
+// without touching any degradation or partition state.
+func (db *DB) UncongestLink(site string) error {
+	return db.CongestLink(site, 1)
 }
 
 // Stats reports quality-manager outcome counters.
