@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check tidy-check vet build test shuffle race race-runner race-broker race-guardian fuzz-smoke bench bench-all bench-runner bench-overload chaos chaos-parallel trace-demo
+.PHONY: check fmt-check tidy-check vet build test shuffle race race-runner race-broker race-guardian race-transcode fuzz-smoke bench bench-all bench-runner bench-overload bench-transcode chaos chaos-parallel trace-demo
 
 # The full gate: what CI (and a careful human) runs before merging. The
 # race target covers the plan pipeline's atomic counters and cache; the
@@ -46,6 +46,12 @@ race-broker:
 race-guardian:
 	$(GO) test -race . ./internal/guardian/... ./internal/transport/... ./internal/netsim/... ./internal/broker/...
 
+# Focused race gate for the staged-execution stack: the transcoding farm
+# (EDF queue, autoscaler, billing), the transport sessions consuming its
+# GOPs, and the stage-DAG admission/reservation path.
+race-transcode:
+	$(GO) test -race . ./internal/transcode/... ./internal/transport/... ./internal/core/...
+
 # Short coverage-guided fuzz pass over the MPEG layering parser: any
 # input must either parse or fail with ErrCorrupt — never panic.
 fuzz-smoke:
@@ -70,6 +76,11 @@ bench-runner:
 # queue), archived as a JSON artifact for diffing across PRs.
 bench-overload:
 	$(GO) run ./cmd/qsqbench -exp overload -replicas 3 -parallel 6 -bench BENCH_overload.json
+
+# Transcode-farm Pareto sweep (worker-class mixes vs the inline baseline:
+# dollars vs p99 startup delay), archived as a JSON artifact.
+bench-transcode:
+	$(GO) run ./cmd/qsqbench -exp transcode -replicas 3 -parallel 6 -bench BENCH_transcode.json
 
 chaos:
 	$(GO) run ./cmd/qsqbench -exp chaos

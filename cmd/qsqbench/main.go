@@ -13,6 +13,7 @@
 //	qsqbench -exp chaos      # fault injection + mid-stream failover
 //	qsqbench -exp admission  # admission latency vs load over the control plane
 //	qsqbench -exp overload   # load ramp past capacity: guardian + breaker vs baseline
+//	qsqbench -exp transcode  # farm worker-class mixes: dollars vs p99 startup delay
 //	qsqbench -exp all
 //
 // Every experiment is a grid of hermetic (point × replica) simulation
@@ -79,7 +80,7 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.exp, "exp", "all", "experiment: fig5|table2|fig6|fig7|throughput|ablation|dynamic|overhead|chaos|admission|all")
+	flag.StringVar(&o.exp, "exp", "all", "experiment: fig5|table2|fig6|fig7|throughput|ablation|dynamic|overhead|chaos|admission|overload|transcode|all")
 	flag.Int64Var(&o.seed, "seed", 11, "workload seed (replica 0 runs this seed itself)")
 	flag.IntVar(&o.sweep.Workers, "parallel", 0, "worker pool size for sweep cells (0 = GOMAXPROCS)")
 	flag.IntVar(&o.sweep.Replicas, "replicas", 1, "independently seeded repetitions of every sweep point")
@@ -99,7 +100,7 @@ func main() {
 	flag.IntVar(&o.ctrlRetries, "ctrl-retries", 2, "admission: control RPC retries after the first attempt")
 	flag.Float64Var(&o.ctrlLoss, "ctrl-loss", 0, "admission: control-message loss probability in [0,1)")
 	flag.Float64Var(&o.overloadScale, "overload-scale", 1, "overload: shrink (<1) or stretch (>1) the ramp and fault times")
-	flag.StringVar(&o.benchOut, "bench", "", "overload: archive the run as a JSON benchmark record here")
+	flag.StringVar(&o.benchOut, "bench", "", "overload/transcode: archive the run as a JSON benchmark record here")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "qsqbench:", err)
@@ -132,7 +133,7 @@ func (o options) throughputCfg() experiments.ThroughputConfig {
 
 func run(o options) error {
 	switch o.exp {
-	case "all", "fig5", "table2", "fig6", "fig7", "throughput", "ablation", "dynamic", "overhead", "chaos", "admission", "overload":
+	case "all", "fig5", "table2", "fig6", "fig7", "throughput", "ablation", "dynamic", "overhead", "chaos", "admission", "overload", "transcode":
 	default:
 		return fmt.Errorf("unknown experiment %q", o.exp)
 	}
@@ -253,6 +254,26 @@ func run(o options) error {
 		if o.benchOut != "" {
 			if err := writeFile(o.benchOut, func(w io.Writer) error {
 				return experiments.WriteOverloadJSON(w, cfg, points)
+			}); err != nil {
+				return err
+			}
+			fmt.Println("wrote", o.benchOut)
+		}
+	}
+	if o.exp == "transcode" { // not part of -exp all: its single-copy corpus skews the other figures' protocol
+		cfg := experiments.DefaultTranscodeConfig()
+		cfg.Seed = o.seed
+		points, err := experiments.RunTranscodeParallel(cfg, o.sweep)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTranscode(cfg, points))
+		if err := saveCSV(o.csvDir, "transcode.csv", experiments.TranscodeTable(points)); err != nil {
+			return err
+		}
+		if o.benchOut != "" {
+			if err := writeFile(o.benchOut, func(w io.Writer) error {
+				return experiments.WriteTranscodeJSON(w, cfg, points)
 			}); err != nil {
 				return err
 			}

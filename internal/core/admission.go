@@ -285,20 +285,20 @@ func sliceIter(plans []*Plan) func() (*Plan, bool) {
 }
 
 // executeInto runs one plan's two-phase reservation through the control
-// plane — PREPARE then COMMIT at the delivery broker, and at the source
-// broker for remote plans — and on success binds the streaming session to
-// d. It is the shared tail of admission and failover: on failover the same
+// plane — one PREPARE/COMMIT participant per reservation stage of the
+// plan's DAG (delivery site, source relay, farm transcode), all-or-nothing
+// and TTL-reclaimed — and on success binds the streaming session to d. It
+// is the shared tail of admission and failover: on failover the same
 // Delivery gets a new Plan/Session in place. done receives nil on success
 // or the first refusal/timeout after the coordinator rolled the
 // transaction back.
 func (m *Manager) executeInto(d *Delivery, p *Plan, opts ServiceOptions, done func(error)) {
 	v := d.video
 	period := simtime.Seconds(1 / p.Delivered.FrameRate)
-	parts := []broker.Participant{{Site: p.DeliverySite, Name: v.Title, Vec: p.DeliveryDemand, Period: period}}
-	if p.Remote() {
-		parts = append(parts, broker.Participant{
-			Site: p.Replica.Site, Name: v.Title + "-relay", Vec: p.SourceDemand, Period: period,
-		})
+	stages := p.ReservationStages()
+	parts := make([]broker.Participant, len(stages))
+	for i, st := range stages {
+		parts[i] = broker.Participant{Site: st.Site, Name: v.Title + st.Suffix, Vec: st.Vec, Period: period}
 	}
 	m.coord.Reserve(d.querySite, parts, d.trace, func(leases []*gara.Lease, err error) {
 		if err != nil {
@@ -318,7 +318,9 @@ func (m *Manager) executeInto(d *Delivery, p *Plan, opts ServiceOptions, done fu
 
 // bind starts the streaming session on the committed leases and wires the
 // failure-detection callbacks — the local tail of a successful two-phase
-// reservation.
+// reservation. Leases arrive in reservation-stage order; the delivery
+// lease feeds the session, the source and farm leases are held by the
+// delivery and released with it.
 func (m *Manager) bind(d *Delivery, p *Plan, leases []*gara.Lease, opts ServiceOptions) error {
 	v := d.video
 	release := func() {
@@ -332,12 +334,21 @@ func (m *Manager) bind(d *Delivery, p *Plan, leases []*gara.Lease, opts ServiceO
 		return err
 	}
 	lease := leases[0]
-	var sourceLease *gara.Lease
-	if len(leases) > 1 {
-		sourceLease = leases[1]
+	var sourceLease, farmLease *gara.Lease
+	for i, st := range p.ReservationStages() {
+		if i == 0 || i >= len(leases) {
+			continue
+		}
+		switch st.Kind {
+		case StageSource:
+			sourceLease = leases[i]
+		case StageTranscode:
+			farmLease = leases[i]
+		}
 	}
 	d.Plan = p
 	d.sourceLease = sourceLease
+	d.farmLease = farmLease
 	cfg := transport.Config{
 		Video:            v,
 		Variant:          p.DeliveredVariant,
@@ -348,6 +359,18 @@ func (m *Manager) bind(d *Delivery, p *Plan, leases []*gara.Lease, opts ServiceO
 		PathSeed:         opts.PathSeed,
 		StartFrame:       opts.StartFrame,
 		Trace:            d.trace,
+	}
+	// Staged GOP supply: when a farm is enabled, transcoding plans stream
+	// GOPs through it — offloaded plans because the conversion genuinely
+	// runs there, and inline plans under a *neutral* farm because routing
+	// through instant workers is free and keeps one code path. A non-neutral
+	// farm leaves inline plans alone: their conversion is priced on the
+	// delivery CPU and must not also occupy a farm worker.
+	if m.farm != nil && p.Transcode != nil && (p.FarmOffloaded() || m.farm.Neutral()) {
+		cfg.Farm = m.farm
+		if st := p.TranscodeStage(); st != nil {
+			cfg.FarmWork = st.Work
+		}
 	}
 	sess, err := transport.StartReserved(m.cluster.Sim, deliveryNode, cfg, lease, func(s *transport.Session) {
 		// A resume at the video's end finishes synchronously inside
@@ -363,6 +386,10 @@ func (m *Manager) bind(d *Delivery, p *Plan, leases []*gara.Lease, opts ServiceO
 			d.sourceLease.Release()
 			d.sourceLease = nil
 		}
+		if d.farmLease != nil {
+			d.farmLease.Release()
+			d.farmLease = nil
+		}
 		if d.opts.OnDone != nil {
 			d.opts.OnDone(d)
 		}
@@ -377,6 +404,9 @@ func (m *Manager) bind(d *Delivery, p *Plan, leases []*gara.Lease, opts ServiceO
 	sess.SetOnFail(func(_ *transport.Session, cause error) { m.onSessionFail(d, cause) })
 	if sourceLease != nil {
 		sourceLease.SetOnRevoke(func(cause error) { m.onSourceFail(d, cause) })
+	}
+	if farmLease != nil {
+		farmLease.SetOnRevoke(func(cause error) { m.onFarmFail(d, cause) })
 	}
 	m.cluster.sessionStarted()
 	d.Session = sess

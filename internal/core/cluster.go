@@ -12,6 +12,7 @@ import (
 	"quasaq/internal/replication"
 	"quasaq/internal/simtime"
 	"quasaq/internal/storage"
+	"quasaq/internal/transcode"
 	"quasaq/internal/vdbms"
 )
 
@@ -39,6 +40,12 @@ type Cluster struct {
 	// cluster to message passing.
 	Ctrl    *broker.Net
 	Brokers map[string]*broker.Broker
+
+	// Farm is the shared elastic transcoding tier (nil until EnableFarm).
+	// Its pseudo-site FarmSite joins Nodes and Brokers — so reservations,
+	// usage queries and partition checks treat it like any site — but not
+	// siteNames: it stores no replicas and serves no deliveries.
+	Farm *transcode.Farm
 
 	siteNames []string
 	mActive   *obs.Gauge // live streaming sessions (deliveries, not leases)
@@ -113,6 +120,45 @@ func NewCluster(sim *simtime.Simulator, sites []string, capacity gara.NodeCapaci
 // synchronous direct-call path.
 func (c *Cluster) ConfigureControl(cfg broker.Config) error {
 	return c.Ctrl.SetConfig(cfg)
+}
+
+// FarmSite is the pseudo-site name of the shared transcoding tier in the
+// cluster's node and broker tables.
+const FarmSite = "farm"
+
+// EnableFarm attaches the elastic transcoding tier: a Farm on the sim
+// clock, fronted by a gara node whose CPU capacity is the farm's peak
+// transcode throughput (so reservations of offloaded stages book against
+// the fleet's envelope) and a broker of its own, so the farm participates
+// in two-phase reservations like any site. One farm per cluster; the name
+// FarmSite must be free.
+func (c *Cluster) EnableFarm(cfg transcode.FarmConfig) (*transcode.Farm, error) {
+	if c.Farm != nil {
+		return nil, fmt.Errorf("core: farm already enabled")
+	}
+	if _, taken := c.Nodes[FarmSite]; taken {
+		return nil, fmt.Errorf("core: site name %q is reserved for the farm", FarmSite)
+	}
+	farm, err := transcode.NewFarm(c.Sim, cfg, c.Obs)
+	if err != nil {
+		return nil, err
+	}
+	// Only the CPU axis is real: the farm neither stores replicas nor
+	// serves clients, so its other buckets are effectively unbounded.
+	cap := gara.NodeCapacity{
+		CPUCores:      farm.CPUCapacity(),
+		NetBandwidth:  1e15,
+		DiskBandwidth: 1e15,
+		Memory:        1 << 40,
+	}
+	n := gara.NewNode(c.Sim, FarmSite, cap)
+	n.Instrument(c.Obs)
+	c.Nodes[FarmSite] = n
+	b := broker.New(c.Sim, n, c.Obs)
+	c.Brokers[FarmSite] = b
+	c.Ctrl.Register(FarmSite, b.Handle)
+	c.Farm = farm
+	return farm, nil
 }
 
 // TestbedCluster builds the paper's three-server deployment (§5).

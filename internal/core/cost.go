@@ -60,13 +60,16 @@ type LRB struct{}
 // Name returns "lrb".
 func (LRB) Name() string { return "lrb" }
 
-// Cost evaluates Eq. 1 for one plan under the given usage.
+// Cost evaluates Eq. 1 for one plan under the given usage: the maximum
+// bucket fill over every reservation stage of the plan's DAG. For
+// pre-staged plans this visits the delivery then source demands exactly as
+// before; farm-offloaded plans additionally charge the farm tier's CPU
+// bucket, so a congested farm prices its candidates out.
 func (LRB) Cost(p *Plan, usage SiteUsage) float64 {
-	du, dc := usage(p.DeliverySite)
-	f := p.DeliveryDemand.MaxFillRatio(du, dc)
-	if p.Remote() {
-		su, sc := usage(p.Replica.Site)
-		if sf := p.SourceDemand.MaxFillRatio(su, sc); sf > f {
+	var f float64
+	for _, st := range p.ReservationStages() {
+		u, c := usage(st.Site)
+		if sf := st.Vec.MaxFillRatio(u, c); sf > f {
 			f = sf
 		}
 	}
@@ -118,13 +121,13 @@ type MinSum struct{}
 // Name returns "min-sum".
 func (MinSum) Name() string { return "min-sum" }
 
-// Cost is the summed normalized bucket demand of one plan.
+// Cost is the summed normalized bucket demand of one plan, over every
+// reservation stage of its DAG.
 func (MinSum) Cost(p *Plan, usage SiteUsage) float64 {
-	_, dc := usage(p.DeliverySite)
-	c := p.DeliveryDemand.SumRatio(dc)
-	if p.Remote() {
-		_, sc := usage(p.Replica.Site)
-		c += p.SourceDemand.SumRatio(sc)
+	var c float64
+	for _, st := range p.ReservationStages() {
+		_, sc := usage(st.Site)
+		c += st.Vec.SumRatio(sc)
 	}
 	return c
 }
@@ -143,14 +146,14 @@ type StaticCheapest struct{}
 // Name returns "static".
 func (StaticCheapest) Name() string { return "static" }
 
-// Cost is the plan's fill ratio against an empty site.
+// Cost is the plan's fill ratio against empty sites, maximized over every
+// reservation stage of its DAG.
 func (StaticCheapest) Cost(p *Plan, usage SiteUsage) float64 {
 	var zero qos.ResourceVector
-	_, dc := usage(p.DeliverySite)
-	c := p.DeliveryDemand.MaxFillRatio(zero, dc)
-	if p.Remote() {
-		_, sc := usage(p.Replica.Site)
-		if sf := p.SourceDemand.MaxFillRatio(zero, sc); sf > c {
+	var c float64
+	for _, st := range p.ReservationStages() {
+		_, sc := usage(st.Site)
+		if sf := st.Vec.MaxFillRatio(zero, sc); sf > c {
 			c = sf
 		}
 	}

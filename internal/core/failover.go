@@ -91,6 +91,17 @@ func (m *Manager) onSourceFail(d *Delivery, cause error) {
 	}
 }
 
+// onFarmFail handles revocation of an offloaded plan's farm-stage lease:
+// the transcoding tier can no longer feed the stream its GOPs, so the
+// session fails and recovery follows through onSessionFail, which will
+// re-plan the DAG (possibly back onto an inline transcode).
+func (m *Manager) onFarmFail(d *Delivery, cause error) {
+	d.farmLease = nil // already reclaimed by the revocation
+	if d.Session != nil {
+		d.Session.Fail(cause)
+	}
+}
+
 // onSessionFail is the failure-detection entry point: an admitted session
 // died mid-stream. Without failover the delivery is abandoned immediately;
 // with it, recovery is scheduled after the detector's lag.
@@ -99,6 +110,10 @@ func (m *Manager) onSessionFail(d *Delivery, cause error) {
 	if d.sourceLease != nil {
 		d.sourceLease.Release()
 		d.sourceLease = nil
+	}
+	if d.farmLease != nil {
+		d.farmLease.Release()
+		d.farmLease = nil
 	}
 	m.met.sessionFailures.Inc()
 	d.failedAt = m.cluster.Sim.Now()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 
 	"quasaq/internal/broker"
 	"quasaq/internal/gara"
@@ -9,6 +10,7 @@ import (
 	"quasaq/internal/obs"
 	"quasaq/internal/qos"
 	"quasaq/internal/simtime"
+	"quasaq/internal/transcode"
 	"quasaq/internal/transport"
 )
 
@@ -50,6 +52,7 @@ type Delivery struct {
 
 	mgr         *Manager
 	sourceLease *gara.Lease
+	farmLease   *gara.Lease // farm-tier transcode stage, offloaded plans only
 	video       *media.Video
 	req         qos.Requirement
 	querySite   string
@@ -150,6 +153,10 @@ func (d *Delivery) Cancel() {
 	if d.sourceLease != nil {
 		d.sourceLease.Release()
 		d.sourceLease = nil
+	}
+	if d.farmLease != nil {
+		d.farmLease.Release()
+		d.farmLease = nil
 	}
 }
 
@@ -274,6 +281,11 @@ type Manager struct {
 	// starting a monitor); aq, when non-nil, bounds concurrent admissions.
 	onAdmit func(*Delivery)
 	aq      *admissionQueue
+
+	// farm is the shared transcoding tier (nil until EnableFarm): transcode
+	// plans stream their GOPs through it, and a non-neutral farm makes the
+	// generator emit farm-offloaded stage candidates.
+	farm *transcode.Farm
 }
 
 // NewManager wires a quality manager to a cluster with a cost model.
@@ -302,6 +314,36 @@ func NewManagerWithConfig(c *Cluster, model CostModel, cfg GeneratorConfig) *Man
 	}
 	return m
 }
+
+// EnableFarm attaches the elastic transcoding tier to the cluster and
+// routes this manager's transcode plans through it. With a *neutral* farm
+// (the zero config: one instant class, no startup, no pricing) the plan
+// space, admission decisions, and frame timing are byte-identical to the
+// pre-farm inline path — only the farm's own counters tick. A non-neutral
+// farm additionally makes the generator emit farm-offloaded stage
+// candidates, so the cost models can move conversions off congested
+// delivery CPUs; call it before serving queries, since it rebuilds the
+// generator and re-keys the candidate cache.
+func (m *Manager) EnableFarm(cfg transcode.FarmConfig) (*transcode.Farm, error) {
+	if m.farm != nil {
+		return nil, fmt.Errorf("core: farm already enabled")
+	}
+	farm, err := m.cluster.EnableFarm(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.farm = farm
+	if !farm.Neutral() {
+		gcfg := m.gen.cfg
+		gcfg.Farm = &FarmBinding{Site: FarmSite}
+		m.gen = NewGenerator(m.cluster.Dir, gcfg)
+		m.cache.BumpLiveness()
+	}
+	return farm, nil
+}
+
+// Farm returns the attached transcoding tier (nil when disabled).
+func (m *Manager) Farm() *transcode.Farm { return m.farm }
 
 // Stats returns a typed view over the metrics registry's quality-manager
 // series — the same numbers WriteJSON/WriteCSV export.

@@ -50,6 +50,13 @@ type Plan struct {
 	// the replica lives elsewhere (zero otherwise): disk to read the
 	// replica and outbound bandwidth to relay it to the delivery site.
 	SourceDemand qos.ResourceVector
+
+	// Stages is the plan's execution DAG in pipeline order (source-read →
+	// transcode → deliver), each stage carrying its own demand vector and
+	// site binding with DependsOn precedence edges. DeliveryDemand and
+	// SourceDemand above remain the flat per-site totals the stages roll up
+	// to; admission and the cost models walk ReservationStages.
+	Stages []Stage
 }
 
 // Remote reports whether the plan relays the replica between sites.
@@ -65,6 +72,9 @@ func (p *Plan) String() string {
 	}
 	if p.Transcode != nil {
 		fmt.Fprintf(&b, " -> transcode to %s", *p.Transcode)
+		if p.FarmOffloaded() {
+			b.WriteString(" on farm")
+		}
 	}
 	if p.Drop != transport.DropNone {
 		fmt.Fprintf(&b, " -> drop %s", p.Drop)
@@ -88,6 +98,11 @@ type GeneratorConfig struct {
 	// plan-drop rule: a plan whose demand cannot fit an *empty* site is
 	// "intolerably high cost" (§3.4) and is dropped at generation time.
 	SiteCapacity qos.ResourceVector
+	// Farm, when set, adds farm-offloaded variants of every transcoding
+	// candidate: the conversion's CPU moves off the delivery site onto the
+	// farm pseudo-site as a stage of its own, reserved as a third
+	// participant of the plan's two-phase transaction.
+	Farm *FarmBinding
 }
 
 // DefaultGeneratorConfig returns the full §4 search space.
@@ -155,19 +170,21 @@ func (g *Generator) Generate(querySite string, v *media.Video, req qos.Requireme
 				if target != nil {
 					delivered = *target
 				}
-				for _, drop := range g.cfg.Drops { // set A3
-					for _, enc := range g.encryptionChoices(req) { // set A5
-						if p := g.build(v, rep, site, delivered, target, drop, enc); p != nil {
-							if req.SatisfiedBy(p.Delivered) {
-								g.generated.Add(1)
-								if !yield(p) {
-									return
+				for _, farmOff := range g.farmChoices(target) { // stage binding
+					for _, drop := range g.cfg.Drops { // set A3
+						for _, enc := range g.encryptionChoices(req) { // set A5
+							if p := g.build(v, rep, site, delivered, target, drop, enc, farmOff); p != nil {
+								if req.SatisfiedBy(p.Delivered) {
+									g.generated.Add(1)
+									if !yield(p) {
+										return
+									}
+								} else {
+									g.pruned.Add(1)
 								}
 							} else {
 								g.pruned.Add(1)
 							}
-						} else {
-							g.pruned.Add(1)
 						}
 					}
 				}
@@ -208,6 +225,17 @@ func (g *Generator) transcodeTargets(rep *metadata.Replica, req qos.Requirement)
 	return targets
 }
 
+// farmChoices enumerates the transcode stage's binding: inline on the
+// delivery CPU always, plus the farm tier when a farm is bound and the
+// candidate actually transcodes. Without a farm this is the single legacy
+// choice, so plan counts and order are untouched.
+func (g *Generator) farmChoices(target *qos.AppQoS) []bool {
+	if g.cfg.Farm == nil || target == nil {
+		return []bool{false}
+	}
+	return []bool{false, true}
+}
+
 // encryptionChoices applies the security rule: queries without a security
 // requirement never get an encryption activity (it would waste CPU for no
 // QoS gain); queries demanding security get every algorithm at or above
@@ -225,18 +253,25 @@ func (g *Generator) encryptionChoices(req qos.Requirement) []*cryptoact.Algorith
 }
 
 // build assembles and costs one candidate plan, returning nil when a static
-// rule rejects it.
+// rule rejects it. farmOff moves the transcode stage's CPU off the delivery
+// site onto the farm tier.
 func (g *Generator) build(v *media.Video, rep *metadata.Replica, site string,
 	delivered qos.AppQoS, target *qos.AppQoS, drop transport.DropStrategy,
-	enc *cryptoact.Algorithm) *Plan {
+	enc *cryptoact.Algorithm, farmOff bool) *Plan {
 
 	deliveredVar := media.NewVariant(delivered)
 	netRate := deliveredVar.Bitrate * drop.ByteFactor(v, deliveredVar)
 
 	cpu := transport.StreamCPUCost(deliveredVar, delivered.FrameRate)
-	var extraPerSecond float64
+	var extraPerSecond, transcodeCost float64
 	if target != nil {
-		extraPerSecond += transcode.CPUCost(rep.Variant.Quality, *target)
+		transcodeCost = transcode.CPUCost(rep.Variant.Quality, *target)
+		if !farmOff {
+			// Inline transcode: the conversion rides the delivery CPU and
+			// is submitted with each frame. Offloaded, it is the farm
+			// stage's demand instead and costs the delivery site nothing.
+			extraPerSecond += transcodeCost
+		}
 	}
 	if enc != nil {
 		// Encryption follows frame dropping (§3.4), so it costs CPU only
@@ -264,7 +299,9 @@ func (g *Generator) build(v *media.Video, rep *metadata.Replica, site string,
 		deliveryDemand[qos.ResDiskBandwidth] = rep.Variant.Bitrate
 	}
 
-	// Static plan-drop rule: demands no empty site could ever admit.
+	// Static plan-drop rule: demands no empty site could ever admit. The
+	// farm stage is exempt — its capacity is the farm's own MaxWorkers
+	// envelope, not SiteCapacity, and admission prices it dynamically.
 	if cap := g.cfg.SiteCapacity; cap != (qos.ResourceVector{}) {
 		var zero qos.ResourceVector
 		if !deliveryDemand.FitsWithin(zero, cap) || !sourceDemand.FitsWithin(zero, cap) {
@@ -277,7 +314,7 @@ func (g *Generator) build(v *media.Video, rep *metadata.Replica, site string,
 	if framesPerSecond > 0 {
 		extraPerFrame = simtime.Time(float64(simtime.Seconds(1)) * extraPerSecond / framesPerSecond)
 	}
-	return &Plan{
+	p := &Plan{
 		Replica:          rep,
 		DeliverySite:     site,
 		Drop:             drop,
@@ -289,4 +326,39 @@ func (g *Generator) build(v *media.Video, rep *metadata.Replica, site string,
 		DeliveryDemand:   deliveryDemand,
 		SourceDemand:     sourceDemand,
 	}
+	p.Stages = g.stages(p, transcodeCost, farmOff)
+	return p
+}
+
+// stages assembles the plan's execution DAG in pipeline order: source-read
+// (remote plans), transcode (inline with zero reservation demand, or
+// farm-bound with the conversion CPU as its own participant), deliver.
+func (g *Generator) stages(p *Plan, transcodeCost float64, farmOff bool) []Stage {
+	stages := make([]Stage, 0, 3)
+	prev := -1
+	if p.Remote() {
+		stages = append(stages, Stage{
+			Kind: StageSource, Site: p.Replica.Site, Suffix: "-relay", Vec: p.SourceDemand,
+		})
+		prev = 0
+	}
+	if p.Transcode != nil {
+		st := Stage{Kind: StageTranscode, Site: p.DeliverySite, Work: transcodeCost}
+		if farmOff {
+			st.Site = g.cfg.Farm.Site
+			st.Suffix = "-transcode"
+			st.Vec[qos.ResCPU] = transcodeCost
+		}
+		if prev >= 0 {
+			st.DependsOn = []int{prev}
+		}
+		stages = append(stages, st)
+		prev = len(stages) - 1
+	}
+	deliver := Stage{Kind: StageDeliver, Site: p.DeliverySite, Vec: p.DeliveryDemand}
+	if prev >= 0 {
+		deliver.DependsOn = []int{prev}
+	}
+	stages = append(stages, deliver)
+	return stages
 }

@@ -136,7 +136,9 @@ func (q AppQoS) Validate() error {
 	default:
 		return fmt.Errorf("qos: unsupported color depth %d", q.ColorDepth)
 	}
-	if q.FrameRate <= 0 || q.FrameRate > 120 {
+	// Negated comparisons so NaN (which fails every ordering test) lands in
+	// the error branch instead of slipping past a `<= 0 || > 120` pair.
+	if !(q.FrameRate > 0) || !(q.FrameRate <= 120) {
 		return fmt.Errorf("qos: frame rate %v out of range", q.FrameRate)
 	}
 	if q.Format == FormatUnknown {

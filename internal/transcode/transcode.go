@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"quasaq/internal/media"
 	"quasaq/internal/mpeg"
@@ -61,22 +62,36 @@ const (
 )
 
 // pixelRate is the decoded pixel throughput of a quality, weighting color
-// depth relative to the full 24-bit path.
+// depth relative to the full 24-bit path. Qualities a Validate call would
+// reject (zero or negative resolution, frame rate, or color depth — and NaN
+// frame rates, which fail every comparison) rate as zero throughput, so a
+// malformed variant can never push NaN or Inf into the cost pipeline.
 func pixelRate(q qos.AppQoS) float64 {
-	return float64(q.Resolution.Pixels()) * q.FrameRate * float64(q.ColorDepth) / 24
+	if q.Resolution.W <= 0 || q.Resolution.H <= 0 || q.ColorDepth <= 0 ||
+		!(q.FrameRate > 0) || math.IsInf(q.FrameRate, 1) {
+		return 0
+	}
+	px := float64(q.Resolution.Pixels())
+	return px * q.FrameRate * float64(q.ColorDepth) / 24
 }
 
 // CPUCost estimates the CPU fraction needed to transcode src to dst in real
 // time: the resource-vector entry the plan generator attaches to plans with
-// an online transcoding step.
+// an online transcoding step. It is defensive: variants that fail Validate
+// cost 0, never NaN or Inf — the coster divides by and compares these
+// values, and one poisoned plan would corrupt the whole admission ranking.
 func CPUCost(src, dst qos.AppQoS) float64 {
 	return pixelRate(src)*decodeCostPerPixel + pixelRate(dst)*encodeCostPerPixel
 }
 
 // PerFrameService converts CPUCost to a per-output-frame CPU service time:
 // what the transport submits to the scheduler for each delivered frame when
-// the plan carries an online transcode.
+// the plan carries an online transcode. A non-positive (or NaN) target
+// frame rate yields zero service rather than an infinite one.
 func PerFrameService(src, dst qos.AppQoS) simtime.Time {
+	if !(dst.FrameRate > 0) {
+		return 0
+	}
 	perSecond := CPUCost(src, dst)
 	return simtime.Time(float64(simtime.Seconds(1)) * perSecond / dst.FrameRate)
 }

@@ -12,6 +12,7 @@ import (
 	"quasaq/internal/qos"
 	"quasaq/internal/simtime"
 	"quasaq/internal/stats"
+	"quasaq/internal/transcode"
 )
 
 // Per-frame streaming CPU cost calibration: packetization, copying and
@@ -63,6 +64,14 @@ type Config struct {
 	// Trace, when set, receives per-GOP progress instants on the session's
 	// trace timeline (nil disables with no cost beyond a nil check).
 	Trace *obs.Scope
+	// Farm, when set, supplies the session's GOPs from the transcoding
+	// tier: each GOP's conversion is submitted just-in-time ahead of its
+	// play point (GOP k+1's job while GOP k streams) with the next GOP
+	// boundary as its deadline, and a GOP whose job finishes late stalls
+	// its release — observable as inter-frame delay the guardian judges.
+	// FarmWork is the conversion's cost in CPU-seconds per second of video.
+	Farm     *transcode.Farm
+	FarmWork float64
 }
 
 // shedBacklog is the CPU backlog (queued frame tasks) beyond which a
@@ -87,6 +96,14 @@ type Session struct {
 	nextFrame int
 	pending   int // frames submitted to the CPU, not yet completed
 	gopDone   bool
+
+	// Farm staging state: completion times of transcoded GOPs keyed by
+	// first-frame index, whether scheduleGOP is parked waiting on one, and
+	// the first job's completion latency (the stream's startup delay).
+	farmReady    map[int]simtime.Time
+	farmParked   bool
+	startupDelay simtime.Time
+	haveStartup  bool
 
 	started    simtime.Time
 	finished   simtime.Time
@@ -212,8 +229,54 @@ func (s *Session) begin() {
 		// the stream restarts from an I frame like a real seek would.
 		s.nextFrame = s.cfg.StartFrame - s.cfg.StartFrame%s.cfg.Video.GOP.Len()
 	}
+	if s.cfg.Farm != nil {
+		s.farmReady = make(map[int]simtime.Time)
+		// The first GOP's conversion gates the first frame: it gets no
+		// just-in-time lead, so its deadline is now and its completion
+		// latency is the stream's startup delay.
+		s.submitFarmGOP(s.nextFrame, s.sim.Now())
+	}
 	s.scheduleGOP()
 }
+
+// submitFarmGOP hands the GOP starting at frame first to the transcoding
+// farm, due by deadline. The completion callback records readiness and, if
+// the pacer is parked at this GOP's boundary waiting for it, resumes the
+// stream.
+func (s *Session) submitFarmGOP(first int, deadline simtime.Time) {
+	v := s.cfg.Video
+	total := v.Frames()
+	if first >= total {
+		return
+	}
+	last := first + v.GOP.Len()
+	if last > total {
+		last = total
+	}
+	videoSeconds := float64(last-first) / v.FrameRate
+	s.cfg.Farm.Submit(s.cfg.FarmWork*videoSeconds, deadline, func(at simtime.Time) {
+		if !s.haveStartup {
+			s.haveStartup = true
+			s.startupDelay = at - s.started
+		}
+		s.farmReady[first] = at
+		if s.farmParked {
+			s.farmParked = false
+			s.scheduleGOP()
+		}
+	})
+}
+
+// StartupDelayMillis returns how long the viewer waited for the first GOP's
+// transcode before playback could begin — zero for sessions that do not
+// stage GOPs through the farm, and for instant (neutral) farms.
+func (s *Session) StartupDelayMillis() float64 {
+	return simtime.ToSeconds(s.startupDelay) * 1000
+}
+
+// FarmRouted reports whether the session's GOPs are staged through the
+// transcoding farm.
+func (s *Session) FarmRouted() bool { return s.cfg.Farm != nil }
 
 // Position returns the index of the next frame to be scheduled: the resume
 // point for a renegotiation.
@@ -250,6 +313,24 @@ func (s *Session) scheduleGOP() {
 		return
 	}
 	first := s.nextFrame
+	// Staged supply: the GOP cannot be paced out until the farm has
+	// transcoded it. A missing job parks the pacer — the job's completion
+	// callback re-enters scheduleGOP. A job that finished after the GOP's
+	// nominal start shifts this GOP's frame releases by its lateness (a
+	// stall the viewer sees as inter-frame delay); the nominal GOP clock is
+	// NOT shifted, so an on-time farm catches the stream back up.
+	var lateShift simtime.Time
+	if s.cfg.Farm != nil {
+		ready, ok := s.farmReady[first]
+		if !ok {
+			s.farmParked = true
+			return
+		}
+		delete(s.farmReady, first)
+		if late := ready - s.gopStart; late > 0 {
+			lateShift = late
+		}
+	}
 	last := first + v.GOP.Len()
 	if last > total {
 		last = total
@@ -293,7 +374,7 @@ func (s *Session) scheduleGOP() {
 			frac = cum / keptBytes
 		}
 		cum += float64(fsize)
-		release := s.gopStart + simtime.Time(float64(window)*frac)
+		release := s.gopStart + lateShift + simtime.Time(float64(window)*frac)
 		size := fsize
 		s.pending++
 		s.sim.ScheduleAt(release, func() { s.sendFrame(size) })
@@ -301,7 +382,18 @@ func (s *Session) scheduleGOP() {
 	s.nextFrame = last
 	s.gopStart += window
 	s.gopDone = false
+	// Just-in-time supply: while this GOP streams, the next one's
+	// conversion runs on the farm, due by the next nominal boundary.
+	if s.cfg.Farm != nil {
+		s.submitFarmGOP(last, s.gopStart)
+	}
 	gopEnd := s.gopStart
+	if now := s.sim.Now(); gopEnd < now {
+		// A farm stall longer than the GOP window pushed real time past the
+		// nominal boundary; resume pacing immediately rather than in the
+		// past (ScheduleAt refuses to rewind the clock).
+		gopEnd = now
+	}
 	s.sim.ScheduleAt(gopEnd, s.scheduleGOP)
 }
 

@@ -34,6 +34,7 @@ import (
 	"quasaq/internal/qos"
 	"quasaq/internal/replication"
 	"quasaq/internal/simtime"
+	"quasaq/internal/transcode"
 	"quasaq/internal/transport"
 	"quasaq/internal/vdbms"
 )
@@ -111,6 +112,30 @@ type (
 	// ObservedQoS is a session's observed-QoS snapshot (delay, jitter,
 	// loss), read via Delivery.Observed.
 	ObservedQoS = transport.ObservedQoS
+	// FarmConfig configures the elastic transcoding farm (worker classes
+	// plus autoscaler); the zero value is a neutral single-instant-worker
+	// farm indistinguishable from inline transcoding.
+	FarmConfig = transcode.FarmConfig
+	// WorkerClass describes one heterogeneous transcoding worker class
+	// (speed, startup latency, dollar price, fleet bounds).
+	WorkerClass = transcode.WorkerClass
+	// AutoscaleConfig tunes the farm's autoscaler (FarmConfig.Autoscale);
+	// the zero value disables scaling.
+	AutoscaleConfig = transcode.AutoscaleConfig
+	// FarmStats is the transcoding farm's counter snapshot.
+	FarmStats = transcode.FarmStats
+	// Stage is one node of a plan's execution DAG (source-read, transcode,
+	// deliver), read via Plan.Stages.
+	Stage = core.Stage
+	// StageKind classifies a plan stage.
+	StageKind = core.StageKind
+)
+
+// Stage kinds of a plan's execution DAG.
+const (
+	StageSource    = core.StageSource
+	StageTranscode = core.StageTranscode
+	StageDeliver   = core.StageDeliver
 )
 
 // Degradation-ladder rungs for custom GuardianConfig.Ladder values.
@@ -595,6 +620,29 @@ func (db *DB) GuardianStats() GuardianStats {
 		return GuardianStats{}
 	}
 	return db.guardian.Stats()
+}
+
+// EnableTranscodeFarm attaches the elastic transcoding tier: a pool of
+// heterogeneous worker classes converting GOPs just-in-time ahead of each
+// stream's play point, fronted by a farm pseudo-site so offloaded transcode
+// stages reserve against the fleet's capacity envelope through the same
+// two-phase protocol as any site. Non-neutral farms extend the plan space
+// with farm-offloaded candidates; the zero FarmConfig is a neutral farm
+// whose behaviour is indistinguishable from inline transcoding. Call before
+// issuing queries; errors if already enabled.
+func (db *DB) EnableTranscodeFarm(cfg FarmConfig) error {
+	_, err := db.manager.EnableFarm(cfg)
+	return err
+}
+
+// TranscodeStats returns the farm's counter snapshot (zero value when
+// EnableTranscodeFarm was never called).
+func (db *DB) TranscodeStats() FarmStats {
+	f := db.manager.Farm()
+	if f == nil {
+		return FarmStats{}
+	}
+	return f.Stats()
 }
 
 // ConfigureAdmissionQueue installs (or removes, with the zero config) the
