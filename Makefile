@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check tidy-check vet build test shuffle race race-runner race-broker race-guardian race-transcode fuzz-smoke bench bench-all bench-runner bench-overload bench-transcode chaos chaos-parallel trace-demo
+.PHONY: check fmt-check tidy-check vet build test shuffle race race-runner race-broker race-guardian race-transcode race-vsa fuzz-smoke bench bench-all bench-runner bench-overload bench-transcode bench-saturate chaos chaos-parallel trace-demo
 
 # The full gate: what CI (and a careful human) runs before merging. The
 # race target covers the plan pipeline's atomic counters and cache; the
@@ -52,6 +52,12 @@ race-guardian:
 race-transcode:
 	$(GO) test -race . ./internal/transcode/... ./internal/transport/... ./internal/core/...
 
+# Focused race gate for the lock-free accounting stack: the VSA
+# accumulator/committer, the node books they reconcile into, and the
+# admission hot path that parks holds on them.
+race-vsa:
+	$(GO) test -race ./internal/vsa/... ./internal/gara/... ./internal/core/...
+
 # Short coverage-guided fuzz pass over the MPEG layering parser: any
 # input must either parse or fail with ErrCorrupt — never panic.
 fuzz-smoke:
@@ -81,6 +87,12 @@ bench-overload:
 # dollars vs p99 startup delay), archived as a JSON artifact.
 bench-transcode:
 	$(GO) run ./cmd/qsqbench -exp transcode -replicas 3 -parallel 6 -bench BENCH_transcode.json
+
+# Admission hot path at saturation: 10^5 sliding-window sessions on one
+# hot site, broker-serialized baseline vs the VSA fast path, archived as a
+# JSON artifact (fidelity hashes + admissions/sec + p99 decision latency).
+bench-saturate:
+	$(GO) run ./cmd/qsqbench -exp saturate -bench BENCH_admission_scale.json
 
 chaos:
 	$(GO) run ./cmd/qsqbench -exp chaos

@@ -14,6 +14,7 @@
 //	qsqbench -exp admission  # admission latency vs load over the control plane
 //	qsqbench -exp overload   # load ramp past capacity: guardian + breaker vs baseline
 //	qsqbench -exp transcode  # farm worker-class mixes: dollars vs p99 startup delay
+//	qsqbench -exp saturate   # admission hot path at 10^5-10^6 sessions: broker vs VSA fast path
 //	qsqbench -exp all
 //
 // Every experiment is a grid of hermetic (point × replica) simulation
@@ -76,11 +77,16 @@ type options struct {
 
 	overloadScale float64
 	benchOut      string
+
+	satSessions   int
+	satLive       int
+	satGoroutines int
+	satZipf       float64
 }
 
 func main() {
 	var o options
-	flag.StringVar(&o.exp, "exp", "all", "experiment: fig5|table2|fig6|fig7|throughput|ablation|dynamic|overhead|chaos|admission|overload|transcode|all")
+	flag.StringVar(&o.exp, "exp", "all", "experiment: fig5|table2|fig6|fig7|throughput|ablation|dynamic|overhead|chaos|admission|overload|transcode|saturate|all")
 	flag.Int64Var(&o.seed, "seed", 11, "workload seed (replica 0 runs this seed itself)")
 	flag.IntVar(&o.sweep.Workers, "parallel", 0, "worker pool size for sweep cells (0 = GOMAXPROCS)")
 	flag.IntVar(&o.sweep.Replicas, "replicas", 1, "independently seeded repetitions of every sweep point")
@@ -100,7 +106,11 @@ func main() {
 	flag.IntVar(&o.ctrlRetries, "ctrl-retries", 2, "admission: control RPC retries after the first attempt")
 	flag.Float64Var(&o.ctrlLoss, "ctrl-loss", 0, "admission: control-message loss probability in [0,1)")
 	flag.Float64Var(&o.overloadScale, "overload-scale", 1, "overload: shrink (<1) or stretch (>1) the ramp and fault times")
-	flag.StringVar(&o.benchOut, "bench", "", "overload/transcode: archive the run as a JSON benchmark record here")
+	flag.StringVar(&o.benchOut, "bench", "", "overload/transcode/saturate: archive the run as a JSON benchmark record here")
+	flag.IntVar(&o.satSessions, "sessions", 100000, "saturate: total session arrivals")
+	flag.IntVar(&o.satLive, "live", 20000, "saturate: sliding-window depth of concurrently live sessions")
+	flag.IntVar(&o.satGoroutines, "goroutines", 8, "saturate: concurrent admission loops in the throughput pass")
+	flag.Float64Var(&o.satZipf, "zipf", 1.1, "saturate: video-popularity skew exponent (>1)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "qsqbench:", err)
@@ -133,7 +143,7 @@ func (o options) throughputCfg() experiments.ThroughputConfig {
 
 func run(o options) error {
 	switch o.exp {
-	case "all", "fig5", "table2", "fig6", "fig7", "throughput", "ablation", "dynamic", "overhead", "chaos", "admission", "overload", "transcode":
+	case "all", "fig5", "table2", "fig6", "fig7", "throughput", "ablation", "dynamic", "overhead", "chaos", "admission", "overload", "transcode", "saturate":
 	default:
 		return fmt.Errorf("unknown experiment %q", o.exp)
 	}
@@ -254,6 +264,34 @@ func run(o options) error {
 		if o.benchOut != "" {
 			if err := writeFile(o.benchOut, func(w io.Writer) error {
 				return experiments.WriteOverloadJSON(w, cfg, points)
+			}); err != nil {
+				return err
+			}
+			fmt.Println("wrote", o.benchOut)
+		}
+	}
+	if o.exp == "saturate" { // not part of -exp all: its throughput pass is wall-clock, not simulated
+		cfg := experiments.DefaultSaturateConfig()
+		cfg.Seed = o.seed
+		cfg.Sessions = o.satSessions
+		cfg.Live = o.satLive
+		cfg.Goroutines = o.satGoroutines
+		cfg.ZipfS = o.satZipf
+		fidelity, err := experiments.RunSaturateParallel(cfg, o.sweep)
+		if err != nil {
+			return err
+		}
+		throughput, err := experiments.RunSaturateThroughputPair(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatSaturate(cfg, fidelity, throughput))
+		if err := saveCSV(o.csvDir, "saturate.csv", experiments.SaturateTable(fidelity)); err != nil {
+			return err
+		}
+		if o.benchOut != "" {
+			if err := writeFile(o.benchOut, func(w io.Writer) error {
+				return experiments.WriteSaturateJSON(w, cfg, fidelity, throughput)
 			}); err != nil {
 				return err
 			}

@@ -12,6 +12,7 @@ import (
 	"quasaq/internal/qos"
 	"quasaq/internal/simtime"
 	"quasaq/internal/transport"
+	"quasaq/internal/vsa"
 )
 
 // ServiceOptions tunes one Service call.
@@ -212,12 +213,9 @@ func cacheLabel(hit bool) string {
 // the current topology/liveness epochs. The second result reports whether
 // the cache served the set (the trace's hit/miss annotation).
 func (m *Manager) planCandidates(querySite string, v *media.Video, req qos.Requirement) ([]*Plan, bool) {
-	if plans, ok := m.cache.Get(querySite, v.ID, req); ok {
-		return plans, true
-	}
-	plans := m.gen.GenerateAll(querySite, v, req)
-	m.cache.Put(querySite, v.ID, req, plans)
-	return plans, false
+	return m.cache.GetOrFill(querySite, v.ID, req, func() []*Plan {
+		return m.gen.GenerateAll(querySite, v, req)
+	})
 }
 
 // excludeSites filters out plans delivering from any listed site, without
@@ -300,7 +298,32 @@ func (m *Manager) executeInto(d *Delivery, p *Plan, opts ServiceOptions, done fu
 	for i, st := range stages {
 		parts[i] = broker.Participant{Site: st.Site, Name: v.Title + st.Suffix, Vec: st.Vec, Period: period}
 	}
+	// With fast accounting on, park an in-flight hold per participant so
+	// concurrent usage reads see this decision before the brokers commit
+	// it. The holds drop the moment the transaction concludes: on success
+	// the committed leases carry the load in the node snapshot, on failure
+	// nothing does. Holds never influence the decision itself — the broker
+	// stays the authority — so a synchronous control plane (where the
+	// transaction concludes before any other read can run) behaves
+	// byte-identically with the fast path on or off.
+	type siteHold struct {
+		acc  *vsa.Accumulator
+		hold vsa.Hold
+	}
+	var holds []siteHold
+	if m.cluster.FastAccountingEnabled() {
+		hint := m.holdSeq.Add(1)
+		holds = make([]siteHold, 0, len(parts))
+		for _, p := range parts {
+			if a := m.cluster.Accumulator(p.Site); a != nil {
+				holds = append(holds, siteHold{acc: a, hold: a.Add(hint, p.Vec)})
+			}
+		}
+	}
 	m.coord.Reserve(d.querySite, parts, d.trace, func(leases []*gara.Lease, err error) {
+		for _, h := range holds {
+			h.acc.Release(0, h.hold)
+		}
 		if err != nil {
 			done(err)
 			return

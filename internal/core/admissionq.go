@@ -53,12 +53,18 @@ func (m *Manager) ConfigureAdmissionQueue(cfg AdmissionQueueConfig) error {
 }
 
 // aqItem is one queued admission: the pipeline thunk, the caller's
-// completion, and the expiry timer.
+// completion, and the expiry timer. concluded latches once the item has
+// reported its outcome — it is the single point deciding which of the
+// racing conclusions (deadline expiry, drop-oldest displacement, pipeline
+// completion) owns the item, so finish fires exactly once and the item
+// lands in exactly one counter and one latency observation no matter how
+// same-instant events interleave.
 type aqItem struct {
-	run    func(conclude func(*Delivery, error))
-	finish func(*Delivery, error)
-	enq    simtime.Time
-	timer  *simtime.Event
+	run       func(conclude func(*Delivery, error))
+	finish    func(*Delivery, error)
+	enq       simtime.Time
+	timer     *simtime.Event
+	concluded bool
 }
 
 // admissionQueue serializes admissions into at most MaxInFlight concurrent
@@ -115,9 +121,16 @@ func (aq *admissionQueue) submit(run func(func(*Delivery, error)), finish func(*
 	}
 }
 
-// expel removes a waiter and fails it with ErrAdmissionDeadline.
+// expel removes a waiter and fails it with ErrAdmissionDeadline. An item
+// that already concluded — expired while a displacement sweep reached it,
+// or vice versa — is left untouched beyond the queue removal: whoever
+// latched concluded already counted and finished it.
 func (aq *admissionQueue) expel(it *aqItem, counter *obs.Counter, why string) {
 	aq.remove(it)
+	if it.concluded {
+		return
+	}
+	it.concluded = true
 	counter.Inc()
 	waited := aq.m.cluster.Sim.Now() - it.enq
 	it.finish(nil, fmt.Errorf("%w: %s after %v queued", ErrAdmissionDeadline, why, waited))
@@ -145,7 +158,10 @@ func (aq *admissionQueue) start(it *aqItem) {
 	aq.inFlight++
 	aq.mWait.Observe(1000 * simtime.ToSeconds(aq.m.cluster.Sim.Now()-it.enq))
 	it.run(func(d *Delivery, err error) {
-		it.finish(d, err)
+		if !it.concluded {
+			it.concluded = true
+			it.finish(d, err)
+		}
 		aq.release()
 	})
 }

@@ -171,3 +171,80 @@ func TestAdmissionQueueDispatchesFIFOWithinSlots(t *testing.T) {
 		}
 	}
 }
+
+// expiryDisplacementWorld builds a queue with one always-busy slot and one
+// wait-line seat, so a queued item A and a later arrival C reproduce the
+// expiry-during-displacement interleaving at a single instant.
+func expiryDisplacementWorld(t *testing.T, d simtime.Time) (*simtime.Simulator, *admissionQueue) {
+	t.Helper()
+	sim := simtime.NewSimulator()
+	c := TestbedCluster(sim)
+	m := NewManager(c, LRB{})
+	if err := m.ConfigureAdmissionQueue(AdmissionQueueConfig{MaxInFlight: 1, MaxQueue: 1, Deadline: d}); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the only slot for the whole test so nothing dequeues.
+	m.aq.submit(func(func(*Delivery, error)) {}, func(*Delivery, error) {
+		t.Fatal("slot occupant concluded")
+	})
+	return sim, m.aq
+}
+
+// TestAdmissionQueueExpiryDuringDisplacementCountsOnce pins the invariant
+// from the concurrency sweep: a request that expires at the very instant a
+// drop-oldest displacement reaches it concludes exactly once — one finish
+// call (hence one arrival-to-decision latency observation upstream) and one
+// increment across the expired/dropped counters, never both — in either
+// order the two same-instant events can fire.
+func TestAdmissionQueueExpiryDuringDisplacementCountsOnce(t *testing.T) {
+	d := simtime.Seconds(1)
+
+	// Order 1: A's deadline timer is scheduled before the displacing
+	// arrival, so at instant d the expiry fires first.
+	sim, aq := expiryDisplacementWorld(t, d)
+	finishes := 0
+	var errA error
+	aq.submit(func(func(*Delivery, error)) {
+		t.Fatal("A must never reach a slot")
+	}, func(_ *Delivery, err error) { finishes++; errA = err })
+	sim.Schedule(d, func() {
+		aq.submit(func(func(*Delivery, error)) {}, func(*Delivery, error) {})
+	})
+	// Snapshot the counters just after the contested instant: the displacing
+	// arrival C has its own deadline and would expire later in the run.
+	var expired, dropped uint64
+	sim.Schedule(d+1, func() { expired, dropped = aq.mExpired.Value(), aq.mDropped.Value() })
+	sim.Run()
+	if finishes != 1 {
+		t.Fatalf("expiry-first: A finished %d times, want exactly 1", finishes)
+	}
+	if !errors.Is(errA, ErrAdmissionDeadline) {
+		t.Fatalf("expiry-first: err = %v, want ErrAdmissionDeadline", errA)
+	}
+	if expired+dropped != 1 || expired != 1 {
+		t.Fatalf("expiry-first: expired=%d dropped=%d, want exactly one expiry", expired, dropped)
+	}
+
+	// Order 2: the displacing arrival's event is scheduled before A exists,
+	// so at instant d the displacement runs first and the (canceled) timer
+	// must not conclude A a second time.
+	sim, aq = expiryDisplacementWorld(t, d)
+	finishes = 0
+	sim.Schedule(d, func() {
+		aq.submit(func(func(*Delivery, error)) {}, func(*Delivery, error) {})
+	})
+	aq.submit(func(func(*Delivery, error)) {
+		t.Fatal("A must never reach a slot")
+	}, func(_ *Delivery, err error) { finishes++; errA = err })
+	sim.Schedule(d+1, func() { expired, dropped = aq.mExpired.Value(), aq.mDropped.Value() })
+	sim.Run()
+	if finishes != 1 {
+		t.Fatalf("displacement-first: A finished %d times, want exactly 1", finishes)
+	}
+	if !errors.Is(errA, ErrAdmissionDeadline) {
+		t.Fatalf("displacement-first: err = %v, want ErrAdmissionDeadline", errA)
+	}
+	if expired+dropped != 1 || dropped != 1 {
+		t.Fatalf("displacement-first: expired=%d dropped=%d, want exactly one drop", expired, dropped)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"quasaq/internal/broker"
 	"quasaq/internal/gara"
@@ -273,6 +274,10 @@ type Manager struct {
 
 	tracer  *obs.Tracer
 	sessSeq int // session ordinal for trace thread naming
+
+	// holdSeq spreads in-flight VSA holds across accumulator shards when
+	// fast accounting is enabled.
+	holdSeq atomic.Uint64
 
 	failover   *FailoverPolicy
 	onFailover func(FailoverEvent)

@@ -66,6 +66,12 @@ type planCacheEntry struct {
 	plans     []*Plan
 	dirEpoch  uint64
 	liveEpoch uint64
+
+	// Single-flight state for GetOrFill entries: ready is closed when the
+	// fill finishes and done flips true (both under mu). Entries stored by
+	// Put have a nil ready and are born done.
+	ready chan struct{}
+	done  bool
 }
 
 func newPlanCacheKey(site string, id media.VideoID, req qos.Requirement) planCacheKey {
@@ -134,6 +140,13 @@ func (c *PlanCache) Get(site string, id media.VideoID, req qos.Requirement) ([]*
 	liveEpoch := c.liveEpoch.Load()
 	c.mu.Lock()
 	e, ok := c.entries[key]
+	if ok && e.ready != nil && !e.done {
+		// A GetOrFill is mid-enumeration; Get cannot wait, so it reports a
+		// plain miss and leaves the pending entry for the filler.
+		c.mu.Unlock()
+		c.misses.Inc()
+		return nil, false
+	}
 	if ok && (e.dirEpoch != dirEpoch || e.liveEpoch != liveEpoch) {
 		delete(c.entries, key)
 		ok = false
@@ -146,6 +159,54 @@ func (c *PlanCache) Get(site string, id media.VideoID, req qos.Requirement) ([]*
 	}
 	c.hits.Inc()
 	return e.plans, true
+}
+
+// GetOrFill returns the candidate set for the key, enumerating it with fill
+// at most once per cold key — the single-flight discipline the admission
+// pipeline relies on. Concurrent lookups of a key whose fill is in flight
+// block until the fill lands and are served from it (counted as hits, since
+// they enumerated nothing), so misses equals enumerations exactly even
+// under contention. A fill that completes after an epoch bump is stored
+// stale and re-enumerated by the next lookup, exactly like any other stale
+// entry. The second result reports whether the cache (rather than this
+// call's own fill) served the set.
+func (c *PlanCache) GetOrFill(site string, id media.VideoID, req qos.Requirement, fill func() []*Plan) ([]*Plan, bool) {
+	key := newPlanCacheKey(site, id, req)
+	for {
+		dirEpoch := c.dir.Epoch()
+		liveEpoch := c.liveEpoch.Load()
+		c.mu.Lock()
+		e, ok := c.entries[key]
+		if ok && e.ready != nil && !e.done {
+			ch := e.ready
+			c.mu.Unlock()
+			<-ch
+			// Re-validate from scratch: the fill may have landed already
+			// stale, or the entry may have been evicted meanwhile.
+			continue
+		}
+		if ok && (e.dirEpoch != dirEpoch || e.liveEpoch != liveEpoch) {
+			delete(c.entries, key)
+			ok = false
+			c.invalidations.Inc()
+		}
+		if ok {
+			c.mu.Unlock()
+			c.hits.Inc()
+			return e.plans, true
+		}
+		e = &planCacheEntry{ready: make(chan struct{}), dirEpoch: dirEpoch, liveEpoch: liveEpoch}
+		c.entries[key] = e
+		c.mu.Unlock()
+		c.misses.Inc()
+		plans := fill()
+		c.mu.Lock()
+		e.plans = plans
+		e.done = true
+		close(e.ready)
+		c.mu.Unlock()
+		return plans, false
+	}
 }
 
 // Put stores a candidate set under the current epochs. Callers must not

@@ -8,11 +8,32 @@
 // One Node holds the managers of one database server; a Lease is an
 // end-to-end reservation spanning all four resources for the lifetime of a
 // media delivery job.
+//
+// # Concurrency
+//
+// A node is safe for concurrent use. One mutex guards all mutation —
+// including the node's link and CPU scheduler, which have no locks of their
+// own and are only ever driven through lease operations — and every
+// complete mutation publishes a fresh usage vector through an atomic
+// pointer, so Usage (the admission cost models' hottest read) never blocks
+// a writer and never observes a reservation half-applied. Reserve updates
+// four buckets; before the snapshot discipline a concurrent reader could
+// catch the window after the link booked bandwidth but before disk/memory
+// were charged — or the window inside Renegotiate between releasing the old
+// vector and acquiring the new — and over-report availability. Now readers
+// see the pre-state or the post-state, nothing between.
+//
+// Holder callbacks (lease revocation handlers, node watchers) always fire
+// after the lock is dropped: handlers routinely re-enter the node — a
+// failing-over session releases its lease, a watcher queries Leases() — and
+// the mutex is not reentrant.
 package gara
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"quasaq/internal/cpusched"
 	"quasaq/internal/netsim"
@@ -80,6 +101,13 @@ type Node struct {
 	link *netsim.Link
 
 	capacity qos.ResourceVector
+
+	// mu guards every mutable field below, plus the link and CPU scheduler
+	// state reached through lease operations. usage is the lock-free read
+	// side: a complete snapshot republished at the end of every mutation.
+	mu    sync.Mutex
+	usage atomic.Pointer[qos.ResourceVector]
+
 	diskUsed float64
 	memUsed  float64
 	netResv  float64 // mirrors link reservations made through leases
@@ -106,7 +134,7 @@ type Node struct {
 
 // Instrument wires the node's lease accounting — and its link's and CPU
 // scheduler's counters — onto the metrics registry, labelled by site. Call
-// once at construction time.
+// once at construction time, before the node is shared.
 func (n *Node) Instrument(reg *obs.Registry) {
 	n.reg = reg
 	n.mGranted = reg.Counter("gara_leases_granted_total", "site", n.name)
@@ -130,13 +158,16 @@ func (n *Node) Registry() *obs.Registry { return n.reg }
 func NewNode(sim *simtime.Simulator, name string, cap NodeCapacity) *Node {
 	cpu := cpusched.New(sim, cpusched.DefaultQuantum)
 	cpu.SetMaxUtilization(cap.CPUCores)
-	return &Node{
+	n := &Node{
 		name:     name,
 		sim:      sim,
 		cpu:      cpu,
 		link:     netsim.NewLink(sim, name+"-out", cap.NetBandwidth),
 		capacity: cap.Vector(),
 	}
+	var zero qos.ResourceVector
+	n.usage.Store(&zero)
+	return n
 }
 
 // Name returns the node name.
@@ -154,8 +185,20 @@ func (n *Node) Link() *netsim.Link { return n.link }
 func (n *Node) Capacity() qos.ResourceVector { return n.capacity }
 
 // Usage returns the node's current reserved/used resource vector — the
-// bucket fillings U_i of Eq. 1.
+// bucket fillings U_i of Eq. 1. The read is a single atomic pointer load of
+// the snapshot published by the last complete mutation: it never blocks
+// writers and never sees a half-applied reservation.
 func (n *Node) Usage() qos.ResourceVector {
+	if p := n.usage.Load(); p != nil {
+		return *p
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.usageLocked()
+}
+
+// usageLocked assembles the usage vector from the resource managers.
+func (n *Node) usageLocked() qos.ResourceVector {
 	var v qos.ResourceVector
 	v[qos.ResCPU] = n.cpu.ReservedUtilization()
 	v[qos.ResNetBandwidth] = n.netResv
@@ -164,69 +207,118 @@ func (n *Node) Usage() qos.ResourceVector {
 	return v
 }
 
-// Leases returns the number of live leases, i.e. admitted delivery jobs.
-func (n *Node) Leases() int { return n.leases }
-
-// Down reports whether the node is crashed.
-func (n *Node) Down() bool { return n.down }
-
-// Watch registers fn to be called on every node state transition (crash,
-// restart). Watchers fire in registration order.
-func (n *Node) Watch(fn func(NodeEvent)) {
-	if fn != nil {
-		n.watchers = append(n.watchers, fn)
-	}
+// publishUsageLocked snapshots the buckets for lock-free readers. Every
+// mutation path calls it exactly once, after its last bucket update.
+func (n *Node) publishUsageLocked() {
+	v := n.usageLocked()
+	n.usage.Store(&v)
 }
 
-func (n *Node) notify() {
-	ev := NodeEvent{Node: n, Down: n.down}
-	for _, fn := range n.watchers {
-		fn(ev)
+// Leases returns the number of live leases, i.e. admitted delivery jobs.
+func (n *Node) Leases() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leases
+}
+
+// Down reports whether the node is crashed.
+func (n *Node) Down() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down
+}
+
+// Watch registers fn to be called on every node state transition (crash,
+// restart). Watchers fire in registration order, outside the node lock.
+func (n *Node) Watch(fn func(NodeEvent)) {
+	if fn == nil {
+		return
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.watchers = append(n.watchers, fn)
+}
+
+// watchersLocked copies the watcher list for firing after unlock.
+func (n *Node) watchersLocked() []func(NodeEvent) {
+	ws := make([]func(NodeEvent), len(n.watchers))
+	copy(ws, n.watchers)
+	return ws
 }
 
 // Fail crashes the node: every live lease is revoked (oldest first, so
 // holders observe failures in admission order), the outbound link is
 // partitioned, and further reservations fail with ErrNodeDown until
 // Restore. Idempotent.
+//
+// The resource teardown happens under the lock — down is set first, so no
+// new lease can slip in behind the revocation sweep, and by the time the
+// link partitions no lease-held bandwidth remains. Holder callbacks and
+// watcher notifications fire after unlock.
 func (n *Node) Fail() {
+	n.mu.Lock()
 	if n.down {
+		n.mu.Unlock()
 		return
 	}
 	n.down = true
 	n.mCrashes.Inc()
 	cause := fmt.Errorf("%w: %s crashed", ErrNodeDown, n.name)
+	var fire []func()
 	for _, l := range append([]*Lease(nil), n.live...) {
-		l.Revoke(cause)
+		if cb, err := l.revokeLocked(cause); cb != nil {
+			fire = append(fire, func() { cb(err) })
+		}
 	}
 	n.link.Partition()
-	n.notify()
+	n.publishUsageLocked()
+	ws := n.watchersLocked()
+	ev := NodeEvent{Node: n, Down: true}
+	n.mu.Unlock()
+	for _, f := range fire {
+		f()
+	}
+	for _, fn := range ws {
+		fn(ev)
+	}
 }
 
 // Restore restarts a crashed node with empty resource managers — the state
 // a process has after a crash-restart cycle (all prior leases were revoked
 // by Fail). Idempotent.
 func (n *Node) Restore() {
+	n.mu.Lock()
 	if !n.down {
+		n.mu.Unlock()
 		return
 	}
 	n.down = false
 	n.mRestores.Inc()
 	n.link.Restore()
-	n.notify()
+	n.publishUsageLocked()
+	ws := n.watchersLocked()
+	ev := NodeEvent{Node: n, Down: false}
+	n.mu.Unlock()
+	for _, fn := range ws {
+		fn(ev)
+	}
 }
 
 // RevokeOldestLease revokes the longest-lived lease on the node — the
 // fault injector's operator-revocation event (e.g. a preempted allocation
 // in a shared cluster). It reports whether a lease was revoked.
 func (n *Node) RevokeOldestLease(cause error) bool {
+	n.mu.Lock()
 	if len(n.live) == 0 {
+		n.mu.Unlock()
 		return false
 	}
+	l := n.live[0]
+	n.mu.Unlock()
 	if cause == nil {
 		cause = ErrLeaseRevoked
 	}
-	n.live[0].Revoke(cause)
+	l.Revoke(cause)
 	return true
 }
 
@@ -242,6 +334,10 @@ func (n *Node) Admit(v qos.ResourceVector) bool {
 // Prepare holds its resources but stays in the prepared state until Commit
 // seals it or Release/Revoke returns the resources — the two-phase
 // reservation states of the distributed control plane.
+//
+// Lease state is guarded by the owning node's mutex: a lease never changes
+// nodes, so the lock that orders node bucket updates orders lease
+// transitions too.
 type Lease struct {
 	node     *Node
 	vec      qos.ResourceVector
@@ -263,6 +359,17 @@ func (n *Node) Reserve(name string, v qos.ResourceVector, period simtime.Time) (
 	if period <= 0 {
 		return nil, fmt.Errorf("gara: non-positive period %v", period)
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, err := n.reserveLocked(name, v, period)
+	if err != nil {
+		return nil, err
+	}
+	n.publishUsageLocked()
+	return l, nil
+}
+
+func (n *Node) reserveLocked(name string, v qos.ResourceVector, period simtime.Time) (*Lease, error) {
 	if n.down {
 		return nil, fmt.Errorf("%w: %s", ErrNodeDown, n.name)
 	}
@@ -315,7 +422,12 @@ func (n *Node) Reserve(name string, v qos.ResourceVector, period simtime.Time) (
 // broker TTL timers use that to reclaim orphans after a coordinator vanishes
 // mid-transaction.
 func (n *Node) Prepare(name string, v qos.ResourceVector, period simtime.Time) (*Lease, error) {
-	l, err := n.Reserve(name, v, period)
+	if period <= 0 {
+		return nil, fmt.Errorf("gara: non-positive period %v", period)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, err := n.reserveLocked(name, v, period)
 	if err != nil {
 		return nil, err
 	}
@@ -323,28 +435,39 @@ func (n *Node) Prepare(name string, v qos.ResourceVector, period simtime.Time) (
 	n.prepared++
 	n.mPrepared.Inc()
 	n.mPreparedNow.Set(int64(n.prepared))
+	n.publishUsageLocked()
 	return l, nil
 }
 
 // PreparedLeases returns the number of live leases still awaiting Commit.
-func (n *Node) PreparedLeases() int { return n.prepared }
+func (n *Node) PreparedLeases() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.prepared
+}
 
 // Prepared reports whether the lease is still in the prepared 2PC state.
-func (l *Lease) Prepared() bool { return l.prepared }
+func (l *Lease) Prepared() bool {
+	l.node.mu.Lock()
+	defer l.node.mu.Unlock()
+	return l.prepared
+}
 
 // Commit seals a prepared lease. Resources were already held at Prepare
 // time, so commit cannot fail for lack of capacity — only because the lease
 // is gone (released, revoked, or TTL-reclaimed). Committing an
 // already-committed (or Reserve-born) lease is a no-op.
 func (l *Lease) Commit() error {
+	n := l.node
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if l.released {
-		return fmt.Errorf("%w: commit %s on %s", ErrLeaseReleased, l.name, l.node.name)
+		return fmt.Errorf("%w: commit %s on %s", ErrLeaseReleased, l.name, n.name)
 	}
 	if !l.prepared {
 		return nil
 	}
 	l.prepared = false
-	n := l.node
 	n.prepared--
 	n.mCommitted.Inc()
 	n.mPreparedNow.Set(int64(n.prepared))
@@ -366,22 +489,42 @@ func (l *Lease) rollbackNet() {
 func (l *Lease) Node() *Node { return l.node }
 
 // Vector returns the reserved resource vector.
-func (l *Lease) Vector() qos.ResourceVector { return l.vec }
+func (l *Lease) Vector() qos.ResourceVector {
+	l.node.mu.Lock()
+	defer l.node.mu.Unlock()
+	return l.vec
+}
 
 // CPUJob returns the reserved CPU job backing the lease, or nil when the
 // lease reserved no CPU.
-func (l *Lease) CPUJob() *cpusched.Job { return l.cpuJob }
+func (l *Lease) CPUJob() *cpusched.Job {
+	l.node.mu.Lock()
+	defer l.node.mu.Unlock()
+	return l.cpuJob
+}
 
 // NetReservation returns the link bandwidth reservation backing the lease,
 // or nil when the lease reserved no bandwidth. Sessions read its effective
 // (congestion-adjusted) rate to pace delivery at what the network actually
 // carries rather than what was booked.
-func (l *Lease) NetReservation() *netsim.Reservation { return l.netResv }
+func (l *Lease) NetReservation() *netsim.Reservation {
+	l.node.mu.Lock()
+	defer l.node.mu.Unlock()
+	return l.netResv
+}
 
 // Release returns every resource to the node. Idempotent: double release
 // (and release after revocation) is a no-op, so CPU jobs and link
 // reservations are never returned twice.
 func (l *Lease) Release() {
+	n := l.node
+	n.mu.Lock()
+	l.releaseLocked()
+	n.publishUsageLocked()
+	n.mu.Unlock()
+}
+
+func (l *Lease) releaseLocked() {
 	if l.released {
 		return
 	}
@@ -422,30 +565,49 @@ func (l *Lease) Release() {
 
 // Revoked reports whether the node withdrew the lease (as opposed to the
 // holder releasing it).
-func (l *Lease) Revoked() bool { return l.revoked }
+func (l *Lease) Revoked() bool {
+	l.node.mu.Lock()
+	defer l.node.mu.Unlock()
+	return l.revoked
+}
 
 // SetOnRevoke registers a callback fired when the node withdraws the lease
 // (node crash, link fault, operator revocation). The callback receives an
 // error satisfying errors.Is(err, ErrLeaseRevoked). It never fires after a
-// voluntary Release.
-func (l *Lease) SetOnRevoke(fn func(cause error)) { l.onRevoke = fn }
+// voluntary Release, and always fires outside the node lock.
+func (l *Lease) SetOnRevoke(fn func(cause error)) {
+	l.node.mu.Lock()
+	defer l.node.mu.Unlock()
+	l.onRevoke = fn
+}
 
 // Revoke is the fault path of Release: the node withdraws the lease,
 // returning its resources, and notifies the holder with ErrLeaseRevoked
 // wrapping the cause. Idempotent; a released lease cannot be revoked.
 func (l *Lease) Revoke(cause error) {
+	n := l.node
+	n.mu.Lock()
+	cb, err := l.revokeLocked(cause)
+	n.publishUsageLocked()
+	n.mu.Unlock()
+	if cb != nil {
+		cb(err)
+	}
+}
+
+// revokeLocked tears the lease down and hands back the holder callback (and
+// the error to deliver) for firing once the lock is dropped.
+func (l *Lease) revokeLocked(cause error) (func(cause error), error) {
 	if l.released {
-		return
+		return nil, nil
 	}
 	l.revoked = true
 	err := fmt.Errorf("%w: %s on %s", ErrLeaseRevoked, l.name, l.node.name)
 	if cause != nil {
 		err = fmt.Errorf("%w: %s on %s: %w", ErrLeaseRevoked, l.name, l.node.name, cause)
 	}
-	l.Release()
-	if l.onRevoke != nil {
-		l.onRevoke(err)
-	}
+	l.releaseLocked()
+	return l.onRevoke, err
 }
 
 // Renegotiate atomically replaces the lease's reservation with a new
@@ -454,34 +616,45 @@ func (l *Lease) Revoke(cause error) {
 // On failure the original reservation is reinstated and an error returned.
 // On success the lease's CPU job is replaced; callers streaming against the
 // old job must rebind to CPUJob().
+//
+// The whole release-then-reacquire sequence runs under the node lock and
+// publishes one usage snapshot at the end, so concurrent readers never see
+// the in-between instant where the old vector is returned but the new one
+// not yet booked — the transient availability over-report the VSA
+// deferred-commit path cannot tolerate.
 func (l *Lease) Renegotiate(v qos.ResourceVector) error {
+	n := l.node
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if l.released {
-		return fmt.Errorf("%w: renegotiate %s on %s", ErrLeaseReleased, l.name, l.node.name)
+		return fmt.Errorf("%w: renegotiate %s on %s", ErrLeaseReleased, l.name, n.name)
 	}
 	old := l.vec
-	n := l.node
 	name, period := l.name, l.period
 	onRevoke := l.onRevoke
-	l.Release()
-	nl, err := n.Reserve(name, v, period)
+	l.releaseLocked()
+	nl, err := n.reserveLocked(name, v, period)
 	if err == nil {
-		l.adopt(nl, onRevoke)
+		l.adoptLocked(nl, onRevoke)
+		n.publishUsageLocked()
 		return nil
 	}
 	// Restore: the old vector just fit, so this cannot fail.
-	ol, rerr := n.Reserve(name, old, period)
+	ol, rerr := n.reserveLocked(name, old, period)
 	if rerr != nil {
+		n.publishUsageLocked()
 		return fmt.Errorf("gara: renegotiation lost original reservation: %v (after %w)", rerr, err)
 	}
-	l.adopt(ol, onRevoke)
+	l.adoptLocked(ol, onRevoke)
+	n.publishUsageLocked()
 	return err
 }
 
-// adopt moves a freshly reserved lease's state into l, preserving the
+// adoptLocked moves a freshly reserved lease's state into l, preserving the
 // holder's identity: the node's live list and the link reservation's
 // revocation callback are rebound to l, and the holder's revocation
 // callback survives the swap.
-func (l *Lease) adopt(nl *Lease, onRevoke func(cause error)) {
+func (l *Lease) adoptLocked(nl *Lease, onRevoke func(cause error)) {
 	*l = *nl
 	l.onRevoke = onRevoke
 	if l.netResv != nil {

@@ -1,0 +1,171 @@
+package vsa
+
+import (
+	"fmt"
+	"sync"
+
+	"quasaq/internal/broker"
+	"quasaq/internal/gara"
+	"quasaq/internal/obs"
+	"quasaq/internal/qos"
+	"quasaq/internal/simtime"
+)
+
+// Committer periodically reconciles an accumulator with its authoritative
+// gara.Node: it drains the pending deltas and re-books the node's single
+// aggregate lease at the new net total. Only the net of all admit/release
+// traffic since the last flush crosses the control plane — self-canceling
+// pairs cost nothing.
+//
+// The commit prefers make-before-break through the two-phase broker
+// protocol (reserve the new total, then release the old lease), so the
+// authority never transiently under-reports the site's load. When the
+// transient double-book would not fit — the node is near capacity, or CPU
+// is reserved where double-booking exceeds 1.0 — it falls back to a
+// node-local break-before-make Renegotiate, which cannot fail in
+// accounting-only use because the new total fits capacity by construction
+// (the accumulator admitted it).
+//
+// Flush is mutex-guarded: one reconciler at a time, while TryAdmit/Release
+// traffic continues lock-free around it.
+type Committer struct {
+	mu     sync.Mutex
+	acc    *Accumulator
+	node   *gara.Node
+	coord  *broker.Coordinator
+	origin string
+	period simtime.Time
+	lease  *gara.Lease
+	dirty  bool // a failed or revoked commit is still owed to the authority
+
+	mFlushes   *obs.Counter
+	mCommits   *obs.Counter
+	mFallbacks *obs.Counter
+	mErrors    *obs.Counter
+}
+
+// NewCommitter builds a reconciler from acc toward node. coord may be nil,
+// in which case commits are direct node calls; when set, origin names the
+// coordinator-side site the reservation RPCs are sent from, and the
+// coordinator path is used only while the control net is synchronous (an
+// asynchronous net cannot complete a flush inline, so the committer drops
+// to direct calls rather than leak an in-flight transaction). period sets
+// the CPU reservation granularity of the aggregate lease.
+func NewCommitter(acc *Accumulator, node *gara.Node, coord *broker.Coordinator, origin string, period simtime.Time) *Committer {
+	if period <= 0 {
+		period = simtime.Seconds(1)
+	}
+	return &Committer{acc: acc, node: node, coord: coord, origin: origin, period: period}
+}
+
+// Instrument registers the committer's counters on reg.
+func (c *Committer) Instrument(reg *obs.Registry) {
+	c.mFlushes = reg.Counter("quasaq_vsa_flushes_total")
+	c.mCommits = reg.Counter("quasaq_vsa_commits_total")
+	c.mFallbacks = reg.Counter("quasaq_vsa_commit_fallbacks_total")
+	c.mErrors = reg.Counter("quasaq_vsa_commit_errors_total")
+}
+
+// Lease exposes the current aggregate lease (nil when the net total is
+// zero). Tests use it to compare the authority's book against the
+// accumulator's.
+func (c *Committer) Lease() *gara.Lease {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lease
+}
+
+// Flush drains the accumulator and commits the new net total to the node.
+// A flush that moves nothing and changes nothing is a cheap no-op. On
+// commit failure the drained delta is returned to pending so the next
+// flush retries it, and the error is reported.
+func (c *Committer) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mFlushes.Inc()
+
+	moved := c.acc.drainFixed()
+	any := false
+	for _, x := range moved {
+		if x != 0 {
+			any = true
+			break
+		}
+	}
+	// A fault may have revoked the aggregate lease behind our back; the
+	// authority then holds nothing, so the full booked total is due again.
+	// dirty keeps that debt armed across failed retries (a flush with no
+	// new traffic must still re-book after a crash-restore cycle).
+	if c.lease != nil && c.lease.Revoked() {
+		c.lease = nil
+		c.dirty = true
+	}
+	if !any && !c.dirty {
+		return nil
+	}
+
+	target := c.acc.Booked()
+	zero := true
+	for i, x := range target {
+		if x < 0 {
+			target[i] = 0
+		} else if x > 0 {
+			zero = false
+		}
+	}
+	if zero {
+		if c.lease != nil {
+			c.lease.Release()
+			c.lease = nil
+		}
+		c.dirty = false
+		c.mCommits.Inc()
+		return nil
+	}
+	if err := c.commit(target); err != nil {
+		c.acc.undrain(moved)
+		c.dirty = true
+		c.mErrors.Inc()
+		return err
+	}
+	c.dirty = false
+	c.mCommits.Inc()
+	return nil
+}
+
+// commit re-books the aggregate lease at the new total.
+func (c *Committer) commit(target qos.ResourceVector) error {
+	name := "vsa:" + c.node.Name()
+	if c.coord != nil && c.coord.Net().Config().Synchronous() {
+		var (
+			got []*gara.Lease
+			err error
+		)
+		fired := false
+		c.coord.Reserve(c.origin, []broker.Participant{{
+			Site: c.node.Name(), Name: name, Vec: target, Period: c.period,
+		}}, nil, func(ls []*gara.Lease, e error) {
+			got, err, fired = ls, e, true
+		})
+		if fired && err == nil {
+			old := c.lease
+			c.lease = got[0]
+			if old != nil {
+				old.Release()
+			}
+			return nil
+		}
+		// Make-before-break refused (transient double-book did not fit) —
+		// fall through to break-before-make against the node itself.
+		c.mFallbacks.Inc()
+	}
+	if c.lease != nil {
+		return c.lease.Renegotiate(target)
+	}
+	nl, err := c.node.Reserve(name, target, c.period)
+	if err != nil {
+		return fmt.Errorf("vsa: commit on %s: %w", c.node.Name(), err)
+	}
+	c.lease = nl
+	return nil
+}

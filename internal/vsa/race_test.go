@@ -1,0 +1,118 @@
+package vsa
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"quasaq/internal/gara"
+	"quasaq/internal/qos"
+)
+
+// TestAccumulatorNodeQuiesceInvariant is the concurrency sweep's anchor:
+// GOMAXPROCS×8 goroutines hammer one hot site with admit/release traffic
+// while flushes race them and the authority crashes and restores underneath.
+// At quiesce the accumulator's drained net usage must equal both the
+// resources the surviving holds actually carry and what the gara.Node has
+// booked — nothing lost, nothing double-counted, no matter how the
+// interleavings fell.
+func TestAccumulatorNodeQuiesceInvariant(t *testing.T) {
+	capv := gara.NodeCapacity{NetBandwidth: 1e9, DiskBandwidth: 1e9, Memory: 1 << 40}
+	node, coord := committerWorld(t, capv)
+	a := NewAccumulator(capv.Vector(), 0)
+	c := NewCommitter(a, node, coord, "hot", 0)
+
+	workers := runtime.GOMAXPROCS(0) * 8
+	const opsPerWorker = 400
+	var wgWorkers, wgFault sync.WaitGroup
+	var stop atomic.Bool
+
+	// Live holds per worker, folded into the expected total at quiesce.
+	held := make([][]Hold, workers)
+
+	for w := 0; w < workers; w++ {
+		w := w
+		wgWorkers.Add(1)
+		go func() {
+			defer wgWorkers.Done()
+			rng := uint64(w)*0x9e3779b97f4a7c15 + 1
+			next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+			for i := 0; i < opsPerWorker; i++ {
+				r := next()
+				switch {
+				case r%4 == 0 && len(held[w]) > 0:
+					last := len(held[w]) - 1
+					a.Release(uint64(w), held[w][last])
+					held[w] = held[w][:last]
+				case r%16 == 1:
+					// Exercise the committer under contention; errors
+					// (node down mid-flush) are retried at quiesce.
+					_ = c.Flush()
+				case r%16 == 2:
+					_ = a.Usage()
+					_ = node.Usage()
+				default:
+					v := vec(0, float64(1+r%1000), float64(1+r%100), float64(1024*(1+r%8)))
+					if h, ok := a.TryAdmit(r, v); ok {
+						held[w] = append(held[w], h)
+					}
+				}
+			}
+		}()
+	}
+
+	// Fault churn: crash and restore the authority while traffic flows.
+	wgFault.Add(1)
+	go func() {
+		defer wgFault.Done()
+		for !stop.Load() {
+			node.Fail()
+			runtime.Gosched()
+			node.Restore()
+			runtime.Gosched()
+		}
+	}()
+
+	wgWorkers.Wait()
+	stop.Store(true)
+	wgFault.Wait()
+
+	node.Restore()
+	if err := c.Flush(); err != nil {
+		t.Fatalf("quiesce flush: %v", err)
+	}
+
+	var expected qos.ResourceVector
+	for w := range held {
+		for _, h := range held[w] {
+			expected = expected.Add(h.Vector())
+		}
+	}
+	if p := a.Pending(); p != (qos.ResourceVector{}) {
+		t.Fatalf("pending = %v at quiesce, want zero", p)
+	}
+	if b := a.Booked(); b != expected {
+		t.Fatalf("booked %v != live holds %v", b, expected)
+	}
+	if u := node.Usage(); u != expected {
+		t.Fatalf("node booked usage %v != accumulator net %v", u, expected)
+	}
+
+	// Drain the world: releasing every surviving hold must walk both books
+	// back to exactly zero.
+	for w := range held {
+		for _, h := range held[w] {
+			a.Release(uint64(w), h)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if u := node.Usage(); u != (qos.ResourceVector{}) {
+		t.Fatalf("node usage %v after full drain, want zero", u)
+	}
+	if c.Lease() != nil {
+		t.Fatal("aggregate lease survived an empty book")
+	}
+}

@@ -1,0 +1,315 @@
+// Package vsa implements Vector–Scalar Accumulators: sharded, lock-free
+// resource accounting for the admission hot path.
+//
+// The authoritative record of what a site has promised lives in gara.Node
+// buckets behind the two-phase broker protocol. That path is faithful to the
+// paper but serializes every admission through a mutex and a lease object.
+// The accumulator splits the book in two:
+//
+//   - pending — per-shard atomic fixed-point vectors holding deltas that have
+//     been admitted (or released) locally but not yet pushed to the
+//     authority. Self-canceling admit/release pairs annihilate here without
+//     ever touching a lock.
+//   - booked — a single atomic vector recording what the accumulator has
+//     drained toward the authoritative node.
+//
+// An admission decision is a handful of atomic adds and loads: add the
+// demand into one shard, sum booked+pending across shards per axis, back the
+// demand out if any axis overflows capacity. Two racing admissions that
+// would jointly overshoot cannot both pass: each adds its demand before
+// checking, so whichever check happens second (in the total order of
+// seq-cst atomics) observes both demands on the contested axis.
+//
+// Draining moves pending into booked with a deliberately conservative
+// ordering — booked is credited before the shard is debited — so a
+// concurrent reader can transiently see a delta twice but never miss it.
+// Transient over-count means a spurious rejection under pressure; transient
+// under-count would mean over-admission, which is the failure mode the whole
+// design exists to exclude.
+//
+// Arithmetic is 2^20 fixed point with demands rounded up and capacity
+// rounded down, so the fixed-point decision is never more permissive than
+// the float decision it stands in for.
+package vsa
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	"quasaq/internal/qos"
+)
+
+// defaultShards sizes the shard array at 4× the scheduler's parallelism,
+// capped so the per-decision cross-shard sum stays cheap.
+func defaultShards() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	if n > 256 {
+		n = 256
+	}
+	return n
+}
+
+// fracBits is the binary point of the fixed representation. 2^20 keeps
+// sub-ppm resolution while leaving 2^43 of integer headroom — enough for
+// multi-terabit link capacities without overflow.
+const fracBits = 20
+
+// maxFixed clamps conversions so that summing a few thousand maximal values
+// still cannot wrap an int64 (pseudo-sites advertise ~1e15 B/s links).
+const maxFixed = int64(1) << 52
+
+// fixedVector is a resource vector in 2^20 fixed point.
+type fixedVector [qos.NumResourceKinds]int64
+
+// toFixedCeil converts a demand, rounding toward "costs more".
+func toFixedCeil(f float64) int64 {
+	if f <= 0 {
+		return 0
+	}
+	v := math.Ceil(f * (1 << fracBits))
+	if v >= float64(maxFixed) {
+		return maxFixed
+	}
+	return int64(v)
+}
+
+// toFixedFloor converts a capacity, rounding toward "holds less".
+func toFixedFloor(f float64) int64 {
+	if f <= 0 {
+		return 0
+	}
+	v := math.Floor(f * (1 << fracBits))
+	if v >= float64(maxFixed) {
+		return maxFixed
+	}
+	return int64(v)
+}
+
+func fixDemand(v qos.ResourceVector) fixedVector {
+	var fx fixedVector
+	for i := range v {
+		fx[i] = toFixedCeil(v[i])
+	}
+	return fx
+}
+
+func fromFixed(x int64) float64 { return float64(x) / (1 << fracBits) }
+
+// Hold is the token returned by a successful TryAdmit (or an unconditional
+// Add). It carries the fixed-point demand so the release annihilates exactly
+// what the admit contributed, immune to any float re-rounding.
+type Hold struct {
+	fx fixedVector
+}
+
+// Vector reports the held demand, converted back to floats.
+func (h Hold) Vector() qos.ResourceVector {
+	var v qos.ResourceVector
+	for i, x := range h.fx {
+		v[i] = fromFixed(x)
+	}
+	return v
+}
+
+// shardPad rounds the shard struct up past a cache line so neighboring
+// shards never false-share.
+const shardPad = 128 - (qos.NumResourceKinds*8)%128
+
+type shard struct {
+	pend [qos.NumResourceKinds]atomic.Int64
+	_    [shardPad]byte
+}
+
+// Accumulator is the per-site VSA. All methods are safe for concurrent use.
+type Accumulator struct {
+	capVec   qos.ResourceVector
+	capacity fixedVector
+	booked   [qos.NumResourceKinds]atomic.Int64
+	shards   []shard
+	mask     uint64
+}
+
+// NewAccumulator builds an accumulator for a site of the given capacity with
+// the given shard count (rounded up to a power of two; 0 picks a default
+// sized for the host).
+func NewAccumulator(capacity qos.ResourceVector, shards int) *Accumulator {
+	if shards <= 0 {
+		shards = defaultShards()
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	a := &Accumulator{capVec: capacity, shards: make([]shard, n), mask: uint64(n - 1)}
+	for i := range capacity {
+		a.capacity[i] = toFixedFloor(capacity[i])
+	}
+	return a
+}
+
+// Capacity reports the capacity the accumulator admits against.
+func (a *Accumulator) Capacity() qos.ResourceVector { return a.capVec }
+
+// Shards reports the shard count (a power of two).
+func (a *Accumulator) Shards() int { return len(a.shards) }
+
+// TryAdmit attempts to admit a demand. hint spreads contention across
+// shards — callers pass a goroutine- or session-local value; any value is
+// correct. On success the returned Hold must eventually be passed to
+// Release (or the demand leaks). The decision is add-then-check: the demand
+// is published into a shard before capacity is tested, which is what makes
+// concurrent overshoot impossible without a lock.
+func (a *Accumulator) TryAdmit(hint uint64, v qos.ResourceVector) (Hold, bool) {
+	fx := fixDemand(v)
+	sh := &a.shards[hint&a.mask]
+	for i, x := range fx {
+		if x != 0 {
+			sh.pend[i].Add(x)
+		}
+	}
+	for i := range fx {
+		if a.booked[i].Load()+a.pendingAxis(i) > a.capacity[i] {
+			for j, x := range fx {
+				if x != 0 {
+					sh.pend[j].Add(-x)
+				}
+			}
+			return Hold{}, false
+		}
+	}
+	return Hold{fx: fx}, true
+}
+
+// Add records a demand unconditionally, with no capacity check. The
+// integrated fast path uses it for in-flight holds: the broker remains the
+// admission authority, the accumulator merely keeps usage reads honest about
+// work that is mid-decision.
+func (a *Accumulator) Add(hint uint64, v qos.ResourceVector) Hold {
+	fx := fixDemand(v)
+	sh := &a.shards[hint&a.mask]
+	for i, x := range fx {
+		if x != 0 {
+			sh.pend[i].Add(x)
+		}
+	}
+	return Hold{fx: fx}
+}
+
+// Release returns a previously admitted (or added) demand. The subtraction
+// lands in the hint's shard — not necessarily the shard the admit used —
+// which is fine because decisions only ever read the cross-shard sum.
+// An admit/release pair that never spanned a Drain annihilates locally and
+// costs the authority nothing.
+func (a *Accumulator) Release(hint uint64, h Hold) {
+	sh := &a.shards[hint&a.mask]
+	for i, x := range h.fx {
+		if x != 0 {
+			sh.pend[i].Add(-x)
+		}
+	}
+}
+
+// pendingAxis sums one axis across shards.
+func (a *Accumulator) pendingAxis(i int) int64 {
+	var s int64
+	for j := range a.shards {
+		s += a.shards[j].pend[i].Load()
+	}
+	return s
+}
+
+// Pending reports the not-yet-drained delta. With concurrent writers the
+// result is a cross-shard sum, not an instantaneous snapshot.
+func (a *Accumulator) Pending() qos.ResourceVector {
+	var v qos.ResourceVector
+	for i := range v {
+		v[i] = fromFixed(a.pendingAxis(i))
+	}
+	return v
+}
+
+// Booked reports what has been drained toward the authority.
+func (a *Accumulator) Booked() qos.ResourceVector {
+	var v qos.ResourceVector
+	for i := range v {
+		v[i] = fromFixed(a.booked[i].Load())
+	}
+	return v
+}
+
+// Usage reports booked + pending — the accumulator's view of total load,
+// the O(1)-ish read the admission cost models consume.
+func (a *Accumulator) Usage() qos.ResourceVector {
+	var v qos.ResourceVector
+	for i := range v {
+		v[i] = fromFixed(a.booked[i].Load() + a.pendingAxis(i))
+	}
+	return v
+}
+
+// Drain folds pending into booked and returns the net delta moved (in
+// floats) plus whether anything moved. For each shard the delta is credited
+// to booked *before* it is debited from the shard, so concurrent readers
+// can transiently double-count it — spurious rejection, never
+// over-admission. Concurrent TryAdmit/Release traffic is preserved: only
+// what was loaded is debited.
+func (a *Accumulator) Drain() (qos.ResourceVector, bool) {
+	moved := a.drainFixed()
+	var v qos.ResourceVector
+	any := false
+	for i, x := range moved {
+		if x != 0 {
+			any = true
+		}
+		v[i] = fromFixed(x)
+	}
+	return v, any
+}
+
+func (a *Accumulator) drainFixed() fixedVector {
+	var moved fixedVector
+	for j := range a.shards {
+		sh := &a.shards[j]
+		for i := range sh.pend {
+			x := sh.pend[i].Load()
+			if x == 0 {
+				continue
+			}
+			a.booked[i].Add(x)
+			sh.pend[i].Add(-x)
+			moved[i] += x
+		}
+	}
+	return moved
+}
+
+// undrain rolls a failed commit back: booked returns to pending so the
+// delta is retried on the next flush rather than silently lost.
+func (a *Accumulator) undrain(moved fixedVector) {
+	sh := &a.shards[0]
+	for i, x := range moved {
+		if x != 0 {
+			sh.pend[i].Add(x)
+			a.booked[i].Add(-x)
+		}
+	}
+}
+
+// bookedFixed snapshots booked in fixed point (test and committer helper).
+func (a *Accumulator) bookedFixed() fixedVector {
+	var fx fixedVector
+	for i := range fx {
+		fx[i] = a.booked[i].Load()
+	}
+	return fx
+}
+
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("vsa{booked=%v pending=%v cap=%v shards=%d}",
+		a.Booked(), a.Pending(), a.capVec, len(a.shards))
+}

@@ -1,0 +1,265 @@
+package vsa
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"quasaq/internal/broker"
+	"quasaq/internal/gara"
+	"quasaq/internal/obs"
+	"quasaq/internal/qos"
+	"quasaq/internal/simtime"
+)
+
+func vec(cpu, net, disk, mem float64) qos.ResourceVector {
+	var v qos.ResourceVector
+	v[qos.ResCPU] = cpu
+	v[qos.ResNetBandwidth] = net
+	v[qos.ResDiskBandwidth] = disk
+	v[qos.ResMemory] = mem
+	return v
+}
+
+func TestFixedPointRoundsAgainstAdmission(t *testing.T) {
+	// Demands round up, capacity rounds down: the fixed-point decision can
+	// only be stricter than the float one, never looser.
+	if got := toFixedCeil(1.0 / 3); got != int64(math.Ceil((1.0/3)*(1<<fracBits))) {
+		t.Fatalf("ceil conversion = %d", got)
+	}
+	if toFixedFloor(1.0/3) >= toFixedCeil(1.0/3) {
+		t.Fatal("floor conversion not below ceil for a non-representable value")
+	}
+	// Integral values convert exactly, so float and fixed agree on them.
+	if toFixedCeil(12345) != toFixedFloor(12345) {
+		t.Fatal("integral value did not convert exactly")
+	}
+	// Huge capacities (pseudo-site sentinels like 1e15 B/s) clamp instead
+	// of overflowing.
+	if toFixedFloor(1e18) != maxFixed || toFixedCeil(1e18) != maxFixed {
+		t.Fatal("huge value did not clamp to maxFixed")
+	}
+}
+
+func TestTryAdmitHonorsCapacity(t *testing.T) {
+	a := NewAccumulator(vec(0, 1000, 0, 0), 4)
+	var holds []Hold
+	for i := 0; i < 10; i++ {
+		h, ok := a.TryAdmit(uint64(i), vec(0, 100, 0, 0))
+		if !ok {
+			t.Fatalf("admit %d rejected below capacity", i)
+		}
+		holds = append(holds, h)
+	}
+	if _, ok := a.TryAdmit(11, vec(0, 1, 0, 0)); ok {
+		t.Fatal("admit above capacity accepted")
+	}
+	a.Release(3, holds[0])
+	if _, ok := a.TryAdmit(12, vec(0, 100, 0, 0)); !ok {
+		t.Fatal("admit rejected after release freed room")
+	}
+	// A failed admit must leave no residue.
+	u := a.Usage()
+	if u[qos.ResNetBandwidth] != 1000 {
+		t.Fatalf("usage = %v, want net exactly at capacity", u)
+	}
+}
+
+func TestAdmitReleasePairsAnnihilate(t *testing.T) {
+	a := NewAccumulator(vec(1, 1e6, 1e6, 1e9), 8)
+	for i := 0; i < 100; i++ {
+		h, ok := a.TryAdmit(uint64(i), vec(0.001, 500, 250, 1024))
+		if !ok {
+			t.Fatalf("admit %d rejected", i)
+		}
+		// Release through a different shard than the admit used.
+		a.Release(uint64(i+3), h)
+	}
+	if d, any := a.Drain(); any {
+		t.Fatalf("drain moved %v after fully annihilated traffic", d)
+	}
+	if b := a.Booked(); b != (qos.ResourceVector{}) {
+		t.Fatalf("booked = %v, want zero", b)
+	}
+}
+
+func TestDrainMovesNetPendingToBooked(t *testing.T) {
+	a := NewAccumulator(vec(0, 1000, 0, 0), 4)
+	h1, _ := a.TryAdmit(1, vec(0, 300, 0, 0))
+	a.TryAdmit(2, vec(0, 200, 0, 0))
+	a.Release(1, h1)
+	d, any := a.Drain()
+	if !any || d[qos.ResNetBandwidth] != 200 {
+		t.Fatalf("drain = %v any=%v, want net 200", d, any)
+	}
+	if p := a.Pending(); p != (qos.ResourceVector{}) {
+		t.Fatalf("pending = %v after drain, want zero", p)
+	}
+	if b := a.Booked(); b[qos.ResNetBandwidth] != 200 {
+		t.Fatalf("booked = %v, want net 200", b)
+	}
+	if u := a.Usage(); u[qos.ResNetBandwidth] != 200 {
+		t.Fatalf("usage = %v, want net 200", u)
+	}
+}
+
+// committerWorld builds a one-site synchronous control plane around a node.
+func committerWorld(t *testing.T, cap gara.NodeCapacity) (*gara.Node, *broker.Coordinator) {
+	t.Helper()
+	sim := simtime.NewSimulator()
+	reg := obs.NewRegistry()
+	net, err := broker.NewNet(sim, broker.Config{}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := gara.NewNode(sim, "hot", cap)
+	net.Register("hot", broker.New(sim, node, reg).Handle)
+	return node, broker.NewCoordinator(net, reg)
+}
+
+func TestCommitterReconcilesNodeWithAccumulator(t *testing.T) {
+	cap := gara.NodeCapacity{NetBandwidth: 1e6, DiskBandwidth: 1e6, Memory: 1 << 30}
+	node, coord := committerWorld(t, cap)
+	a := NewAccumulator(cap.Vector(), 4)
+	c := NewCommitter(a, node, coord, "hot", 0)
+	c.Instrument(obs.NewRegistry())
+
+	var holds []Hold
+	for i := 0; i < 8; i++ {
+		h, ok := a.TryAdmit(uint64(i), vec(0, 1000, 500, 4096))
+		if !ok {
+			t.Fatalf("admit %d rejected", i)
+		}
+		holds = append(holds, h)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := node.Usage(), a.Booked(); got != want {
+		t.Fatalf("node usage %v != accumulator booked %v", got, want)
+	}
+	if node.Usage()[qos.ResNetBandwidth] != 8000 {
+		t.Fatalf("node net = %v, want 8000", node.Usage()[qos.ResNetBandwidth])
+	}
+
+	// Shrink: releases flow through as a negative net delta.
+	for _, h := range holds[:6] {
+		a.Release(0, h)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if node.Usage()[qos.ResNetBandwidth] != 2000 {
+		t.Fatalf("node net after shrink = %v, want 2000", node.Usage()[qos.ResNetBandwidth])
+	}
+
+	// Empty: the aggregate lease is released outright.
+	for _, h := range holds[6:] {
+		a.Release(0, h)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if u := node.Usage(); u != (qos.ResourceVector{}) {
+		t.Fatalf("node usage after full release = %v, want zero", u)
+	}
+	if c.Lease() != nil {
+		t.Fatal("aggregate lease survived a zero total")
+	}
+
+	// A flush with no traffic is a no-op, not an error.
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitterFallsBackWhenDoubleBookDoesNotFit(t *testing.T) {
+	// Near capacity, make-before-break cannot transiently hold old+new on
+	// the node; the committer must fall back to break-before-make and
+	// still land the exact target.
+	cap := gara.NodeCapacity{NetBandwidth: 1000}
+	node, coord := committerWorld(t, cap)
+	a := NewAccumulator(cap.Vector(), 2)
+	c := NewCommitter(a, node, coord, "hot", 0)
+
+	h, ok := a.TryAdmit(1, vec(0, 800, 0, 0))
+	if !ok {
+		t.Fatal("first admit rejected")
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.TryAdmit(2, vec(0, 150, 0, 0)); !ok {
+		t.Fatal("second admit rejected below capacity")
+	}
+	// 800 booked + 950 target > 1000: the 2PC reserve is refused.
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if node.Usage()[qos.ResNetBandwidth] != 950 {
+		t.Fatalf("node net = %v, want 950 via fallback", node.Usage()[qos.ResNetBandwidth])
+	}
+	a.Release(1, h)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if node.Usage()[qos.ResNetBandwidth] != 150 {
+		t.Fatalf("node net = %v, want 150", node.Usage()[qos.ResNetBandwidth])
+	}
+}
+
+func TestCommitterRebooksAfterLeaseRevocation(t *testing.T) {
+	cap := gara.NodeCapacity{NetBandwidth: 1e6}
+	node, coord := committerWorld(t, cap)
+	a := NewAccumulator(cap.Vector(), 2)
+	c := NewCommitter(a, node, coord, "hot", 0)
+
+	if _, ok := a.TryAdmit(1, vec(0, 5000, 0, 0)); !ok {
+		t.Fatal("admit rejected")
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	node.Fail()
+	// While down, the flush fails and the delta survives for retry.
+	if _, ok := a.TryAdmit(2, vec(0, 3000, 0, 0)); !ok {
+		t.Fatal("admit while authority down rejected locally")
+	}
+	if err := c.Flush(); err == nil || !errors.Is(err, gara.ErrNodeDown) {
+		t.Fatalf("flush on a downed node err = %v, want ErrNodeDown", err)
+	}
+	node.Restore()
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := node.Usage()[qos.ResNetBandwidth]; got != 8000 {
+		t.Fatalf("node net after restore = %v, want full 8000 re-booked", got)
+	}
+}
+
+func TestCommitterRebooksWithoutNewTraffic(t *testing.T) {
+	// The revocation debt must survive a failed retry: after crash and
+	// restore, a flush with zero new admit/release traffic still re-books
+	// the full booked total.
+	cap := gara.NodeCapacity{NetBandwidth: 1e6}
+	node, coord := committerWorld(t, cap)
+	a := NewAccumulator(cap.Vector(), 2)
+	c := NewCommitter(a, node, coord, "hot", 0)
+	if _, ok := a.TryAdmit(1, vec(0, 5000, 0, 0)); !ok {
+		t.Fatal("admit rejected")
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	node.Fail()
+	if err := c.Flush(); err == nil {
+		t.Fatal("flush against a downed authority succeeded")
+	}
+	node.Restore()
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := node.Usage()[qos.ResNetBandwidth]; got != 5000 {
+		t.Fatalf("node net after quiet re-book = %v, want 5000", got)
+	}
+}
