@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check tidy-check vet build test shuffle race race-runner race-broker race-guardian race-transcode race-vsa fuzz-smoke bench bench-all bench-runner bench-overload bench-transcode bench-saturate chaos chaos-parallel trace-demo
+.PHONY: check fmt-check tidy-check vet build test shuffle race race-runner race-broker race-guardian race-transcode race-vsa race-qoe fuzz-smoke bench bench-all bench-runner bench-overload bench-transcode bench-saturate bench-sla chaos chaos-parallel trace-demo
 
 # The full gate: what CI (and a careful human) runs before merging. The
 # race target covers the plan pipeline's atomic counters and cache; the
@@ -58,10 +58,18 @@ race-transcode:
 race-vsa:
 	$(GO) test -race ./internal/vsa/... ./internal/gara/... ./internal/core/...
 
-# Short coverage-guided fuzz pass over the MPEG layering parser: any
-# input must either parse or fail with ErrCorrupt — never panic.
+# Focused race gate for the QoE persistence stack: guardians appending
+# violation history through the vdbms engine into heap+btree storage while
+# readers scan, plus the clause parser both layers share.
+race-qoe:
+	$(GO) test -race ./internal/guardian/... ./internal/vdbms/... ./internal/storage/... ./internal/qos/...
+
+# Short coverage-guided fuzz passes: the MPEG layering parser (parse or
+# ErrCorrupt, never panic) and the WITH QOS clause parser (parse or a
+# positioned error, never panic; accepted clauses re-parse canonically).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParser -fuzztime=10s ./internal/mpeg
+	$(GO) test -fuzz=FuzzQoSClause -fuzztime=10s ./internal/vdbms
 
 # Plan-phase benchmarks (cold vs warm candidate cache, full sort vs
 # best-first pop), archived as a JSON artifact for diffing across PRs.
@@ -93,6 +101,12 @@ bench-transcode:
 # JSON artifact (fidelity hashes + admissions/sec + p99 decision latency).
 bench-saturate:
 	$(GO) run ./cmd/qsqbench -exp saturate -bench BENCH_admission_scale.json
+
+# SLA-tier sweep: the same congestion ramp delivered under clause
+# strictness tiers (none/bronze/silver/gold), QoE percentiles queried back
+# through the vdbms qoe table, archived as a JSON artifact.
+bench-sla:
+	$(GO) run ./cmd/qsqbench -exp sla -replicas 3 -parallel 6 -bench BENCH_sla.json
 
 chaos:
 	$(GO) run ./cmd/qsqbench -exp chaos

@@ -146,6 +146,20 @@ func (m *Manager) serviceAdmit(querySite string, id media.VideoID, req qos.Requi
 			return
 		}
 	}
+	// Network-clause gate: with net thresholds in the requirement, any plan
+	// whose priced network vector cannot meet them is unfundable no matter
+	// what the broker says — filter before costing, and reject with a
+	// cause distinguishable from resource exhaustion when nothing is left.
+	if len(req.Net) > 0 {
+		live = netFeasible(live, req)
+		if len(live) == 0 {
+			m.met.rejected.Inc()
+			m.met.qosUnsatisfiable.Inc()
+			scope.Instant("reject", map[string]any{"cause": "qos clause unsatisfiable"})
+			finish(nil, fmt.Errorf("%w: %s with %s: %w", ErrRejected, id, req, ErrQoSUnsatisfiable))
+			return
+		}
+	}
 	rank := scope.Span("cost_rank", map[string]any{"viable": len(live)})
 	next := m.admissionOrder(live)
 	rank.End()
@@ -220,6 +234,18 @@ func (m *Manager) planCandidates(querySite string, v *media.Video, req qos.Requi
 
 // excludeSites filters out plans delivering from any listed site, without
 // mutating the input.
+// netFeasible keeps the plans whose priced network vector admits under the
+// requirement's AND-composed thresholds (Requirement.Admits).
+func netFeasible(plans []*Plan, req qos.Requirement) []*Plan {
+	out := make([]*Plan, 0, len(plans))
+	for _, p := range plans {
+		if req.Admits(p.PricedNetQoS()) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 func excludeSites(plans []*Plan, avoid []string) []*Plan {
 	out := make([]*Plan, 0, len(plans))
 	for _, p := range plans {

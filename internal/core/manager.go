@@ -13,6 +13,7 @@ import (
 	"quasaq/internal/simtime"
 	"quasaq/internal/transcode"
 	"quasaq/internal/transport"
+	"quasaq/internal/vdbms"
 )
 
 // Errors returned by the quality manager. Callers branch with errors.Is;
@@ -35,6 +36,13 @@ var (
 	// reservation then spans simulator events and cannot conclude inside
 	// one call. Use ServiceAsync.
 	ErrAsyncControl = errors.New("core: control plane is asynchronous; use ServiceAsync")
+	// ErrQoSUnsatisfiable reports that the query's network QoS clause
+	// (delay/jitter/loss/throughput thresholds) cannot be met by any
+	// candidate plan's priced network vector — a structural mismatch
+	// between the clause and what the plans can deliver, detected at admit
+	// time before any reservation is attempted. It always arrives wrapped
+	// under ErrRejected, so both errors.Is checks hold.
+	ErrQoSUnsatisfiable = errors.New("core: QoS clause unsatisfiable by any candidate plan")
 )
 
 // ErrControlTimeout re-exports the control plane's timeout cause: a
@@ -164,14 +172,17 @@ func (d *Delivery) Cancel() {
 // ManagerStats counts quality-manager outcomes for the throughput figures
 // and the chaos experiment's degradation counters.
 type ManagerStats struct {
-	Queries        uint64
-	Admitted       uint64
-	Rejected       uint64 // ErrRejected outcomes (Figure 7b's reject count)
-	NoPlan         uint64
-	NoViablePlan   uint64 // ErrNoViablePlan outcomes (all plans on down sites)
-	PlansGenerated uint64
-	PlansTried     uint64
-	Renegotiations uint64
+	Queries      uint64
+	Admitted     uint64
+	Rejected     uint64 // ErrRejected outcomes (Figure 7b's reject count)
+	NoPlan       uint64
+	NoViablePlan uint64 // ErrNoViablePlan outcomes (all plans on down sites)
+	// QoSUnsatisfiable counts rejections whose cause was a network QoS
+	// clause no candidate plan could price (a subset of Rejected).
+	QoSUnsatisfiable uint64
+	PlansGenerated   uint64
+	PlansTried       uint64
+	Renegotiations   uint64
 
 	// Failure/failover counters.
 	SessionFailures     uint64 // sessions lost to faults mid-stream
@@ -196,6 +207,7 @@ func (s *ManagerStats) Merge(o ManagerStats) {
 	s.Rejected += o.Rejected
 	s.NoPlan += o.NoPlan
 	s.NoViablePlan += o.NoViablePlan
+	s.QoSUnsatisfiable += o.QoSUnsatisfiable
 	s.PlansGenerated += o.PlansGenerated
 	s.PlansTried += o.PlansTried
 	s.Renegotiations += o.Renegotiations
@@ -218,6 +230,7 @@ type managerMetrics struct {
 	rejected            *obs.Counter
 	noPlan              *obs.Counter
 	noViablePlan        *obs.Counter
+	qosUnsatisfiable    *obs.Counter
 	plansGenerated      *obs.Counter
 	plansTried          *obs.Counter
 	renegotiations      *obs.Counter
@@ -243,6 +256,7 @@ func newManagerMetrics(reg *obs.Registry) managerMetrics {
 		rejected:            reg.Counter("quasaq_rejected_total"),
 		noPlan:              reg.Counter("quasaq_no_plan_total"),
 		noViablePlan:        reg.Counter("quasaq_no_viable_plan_total"),
+		qosUnsatisfiable:    reg.Counter("quasaq_qos_unsatisfiable_total"),
 		plansGenerated:      reg.Counter("quasaq_plans_generated_total"),
 		plansTried:          reg.Counter("quasaq_plans_tried_total"),
 		renegotiations:      reg.Counter("quasaq_renegotiations_total"),
@@ -359,6 +373,7 @@ func (m *Manager) Stats() ManagerStats {
 		Rejected:             m.met.rejected.Value(),
 		NoPlan:               m.met.noPlan.Value(),
 		NoViablePlan:         m.met.noViablePlan.Value(),
+		QoSUnsatisfiable:     m.met.qosUnsatisfiable.Value(),
 		PlansGenerated:       m.met.plansGenerated.Value(),
 		PlansTried:           m.met.plansTried.Value(),
 		Renegotiations:       m.met.renegotiations.Value(),
@@ -375,6 +390,11 @@ func (m *Manager) Stats() ManagerStats {
 
 // Registry exposes the cluster-wide metrics registry.
 func (m *Manager) Registry() *obs.Registry { return m.cluster.Obs }
+
+// Engine exposes the cluster's content/QoE query engine — the guardian
+// persists violation records through it so QoE history is queryable back
+// out of the vdbms itself.
+func (m *Manager) Engine() *vdbms.Engine { return m.cluster.Engine }
 
 // Sim exposes the cluster's simulator clock.
 func (m *Manager) Sim() *simtime.Simulator { return m.cluster.Sim }

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"quasaq/internal/qos"
+)
+
+func netManager(t *testing.T) *Manager {
+	t.Helper()
+	_, c := testCluster(t)
+	return NewManager(c, LRB{})
+}
+
+func TestNetClauseSatisfiableAdmits(t *testing.T) {
+	m := netManager(t)
+	req := vcdRequirement().WithNet(
+		qos.Threshold{Metric: qos.NetDelay, Dir: qos.AtMost, Bound: 60},
+		qos.Threshold{Metric: qos.NetLoss, Dir: qos.AtMost, Bound: 0.05},
+		qos.Threshold{Metric: qos.NetThroughput, Dir: qos.AtLeast, Bound: 50_000},
+	)
+	d, err := m.Service("srv-a", 1, req, ServiceOptions{})
+	if err != nil {
+		t.Fatalf("satisfiable clause rejected: %v", err)
+	}
+	priced := d.Plan.PricedNetQoS()
+	if !req.Admits(priced) {
+		t.Fatalf("admitted plan's priced vector %+v violates clause", priced)
+	}
+	if got := m.Stats().QoSUnsatisfiable; got != 0 {
+		t.Fatalf("QoSUnsatisfiable = %d on an admit", got)
+	}
+}
+
+func TestNetClauseUnsatisfiableThroughputRejects(t *testing.T) {
+	m := netManager(t)
+	// 10 MB/s is an order of magnitude past any replica tier's bitrate.
+	req := vcdRequirement().WithNet(
+		qos.Threshold{Metric: qos.NetThroughput, Dir: qos.AtLeast, Bound: 10_000_000},
+	)
+	_, err := m.Service("srv-a", 1, req, ServiceOptions{})
+	if err == nil {
+		t.Fatal("unsatisfiable throughput clause admitted")
+	}
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("error %v is not ErrRejected", err)
+	}
+	if !errors.Is(err, ErrQoSUnsatisfiable) {
+		t.Fatalf("error %v is not ErrQoSUnsatisfiable", err)
+	}
+	s := m.Stats()
+	if s.QoSUnsatisfiable != 1 || s.Rejected != 1 {
+		t.Fatalf("stats = %+v, want QoSUnsatisfiable=1 inside Rejected=1", s)
+	}
+}
+
+func TestNetClauseUnsatisfiableDelayRejects(t *testing.T) {
+	m := netManager(t)
+	// 10 ms ideal inter-frame delay needs 100 fps; the corpus tops out ~30.
+	req := vcdRequirement().WithNet(
+		qos.Threshold{Metric: qos.NetDelay, Dir: qos.AtMost, Bound: 10},
+	)
+	_, err := m.Service("srv-a", 1, req, ServiceOptions{})
+	if !errors.Is(err, ErrQoSUnsatisfiable) || !errors.Is(err, ErrRejected) {
+		t.Fatalf("want ErrQoSUnsatisfiable under ErrRejected, got %v", err)
+	}
+}
+
+func TestNetClauseDoesNotDisturbClauselessAdmission(t *testing.T) {
+	m := netManager(t)
+	// Identical app requirement with and without a loose net clause must
+	// admit the same plan (the clause only filters, never reorders).
+	plain, err := m.Service("srv-a", 2, vcdRequirement(), ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	claused, err := m.Service("srv-b", 2, vcdRequirement().WithNet(
+		qos.Threshold{Metric: qos.NetLoss, Dir: qos.AtMost, Bound: 0.5},
+	), ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Plan.Replica.Variant.Quality != claused.Plan.Replica.Variant.Quality {
+		t.Fatalf("loose clause changed plan choice: %v vs %v",
+			plain.Plan.Replica.Variant.Quality, claused.Plan.Replica.Variant.Quality)
+	}
+}

@@ -62,6 +62,21 @@ type Plan struct {
 // Remote reports whether the plan relays the replica between sites.
 func (p *Plan) Remote() bool { return p.Replica.Site != p.DeliverySite }
 
+// PricedNetQoS prices the plan's nominal network vector for clause-gated
+// admission: the ideal inter-frame delay implied by the delivered
+// (drop-adjusted) frame rate, the reserved network byte rate as
+// throughput, and zero loss/jitter — a reserved plan is priced as meeting
+// its booking. A clause bound the plan cannot even nominally reach
+// therefore rejects at admit time (ErrQoSUnsatisfiable); runtime
+// deviations from the priced vector are the guardian's concern.
+func (p *Plan) PricedNetQoS() qos.NetQoS {
+	out := qos.NetQoS{ThroughputBps: p.DeliveryDemand[qos.ResNetBandwidth]}
+	if fps := p.Delivered.FrameRate; fps > 0 {
+		out.DelayMillis = 1000 / fps
+	}
+	return out
+}
+
 // String renders the plan like the paper's worked example: retrieve,
 // transfer, transcode, drop, encrypt.
 func (p *Plan) String() string {

@@ -50,6 +50,11 @@ type PlanCache struct {
 // planCacheKey is the comparable form of (querySite, video, requirement).
 // qos.Requirement itself carries a Formats slice, so the formats are
 // canonicalized into a string of format bytes in declaration order.
+// Network thresholds (Requirement.Net) are deliberately NOT part of the
+// key: plan enumeration depends only on app-level QoS, and the net clause
+// is applied as a per-request filter over the cached candidates
+// (netFeasible in admission.go), so clauses differing only in net terms
+// share one cached plan set.
 type planCacheKey struct {
 	site    string
 	video   media.VideoID

@@ -158,6 +158,11 @@ func addGuardianStats(a, b guardian.Stats) guardian.Stats {
 	a.SavedStepDown += b.SavedStepDown
 	a.SavedRenegotiate += b.SavedRenegotiate
 	a.SavedMigrate += b.SavedMigrate
+	a.LossViolations += b.LossViolations
+	a.DelayViolations += b.DelayViolations
+	a.JitterViolations += b.JitterViolations
+	a.ThroughputViolations += b.ThroughputViolations
+	a.QoERecords += b.QoERecords
 	return a
 }
 

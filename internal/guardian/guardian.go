@@ -21,6 +21,15 @@
 // loops. A session that runs clean for ClearWindows consecutive windows
 // (the congestion receded, or a rung worked) resets to the bottom of the
 // ladder. Every rung emits quasaq_guardian_* metrics and trace instants.
+//
+// Thresholds come from the session's own QoS clause when it carries
+// network-metric terms (WITH QOS delay/jitter/loss/throughput): the clause
+// the admission gate proved satisfiable is the contract the guardian
+// enforces. Sessions without net terms fall back to the Config-relative
+// thresholds, bit for bit as before the clause existed. Every declared
+// violation and recovery is additionally persisted as a QoE history row
+// through the vdbms engine (the paper's qoe_errors relation), so SLA
+// analysis is a SELECT over the qoe table rather than a log grep.
 package guardian
 
 import (
@@ -32,6 +41,7 @@ import (
 	"quasaq/internal/qos"
 	"quasaq/internal/simtime"
 	"quasaq/internal/transport"
+	"quasaq/internal/vdbms"
 )
 
 // ErrQoSAbandoned reports a session shed by the guardian after the
@@ -44,11 +54,20 @@ var ErrQoSAbandoned = errors.New("guardian: session abandoned after unrecoverabl
 type Metric int
 
 // The monitored dimensions, checked in this priority order within a window.
+// The ordering mirrors qos.NetMetrics (loss, delay, jitter, throughput) so
+// the two enums convert by value.
 const (
 	MetricLoss Metric = iota
 	MetricDelay
 	MetricJitter
+	MetricThroughput
+
+	numMetrics = 4
 )
+
+// metricOf maps a clause metric to the guardian's Metric; the enums share
+// ordering by construction.
+func metricOf(m qos.NetMetric) Metric { return Metric(int(m)) }
 
 // String names the metric in errors, traces, and CSV columns.
 func (m Metric) String() string {
@@ -59,6 +78,8 @@ func (m Metric) String() string {
 		return "delay"
 	case MetricJitter:
 		return "jitter"
+	case MetricThroughput:
+		return "throughput"
 	default:
 		return fmt.Sprintf("Metric(%d)", int(m))
 	}
@@ -206,6 +227,12 @@ type Stats struct {
 	SavedStepDown    uint64 // violated sessions completing after rung 1
 	SavedRenegotiate uint64 // … after rung 2
 	SavedMigrate     uint64 // … after rung 3
+
+	LossViolations       uint64 // declared violations caused by loss
+	DelayViolations      uint64 // … by mean inter-frame delay
+	JitterViolations     uint64 // … by jitter
+	ThroughputViolations uint64 // … by a clause throughput floor
+	QoERecords           uint64 // QoE history rows appended through the vdbms
 }
 
 // Saved returns violated sessions rescued by rungs 1–3 (completed without
@@ -221,7 +248,9 @@ type guardianMetrics struct {
 	violatedSessions *obs.Counter
 	rungs            [4]*obs.Counter // indexed by Rung
 	replanFailures   *obs.Counter
-	saved            [3]*obs.Counter // indexed by Rung (abandon never saves)
+	saved            [3]*obs.Counter          // indexed by Rung (abandon never saves)
+	metricViolations [numMetrics]*obs.Counter // indexed by Metric
+	qoeRecords       *obs.Counter
 }
 
 func newGuardianMetrics(reg *obs.Registry) guardianMetrics {
@@ -239,7 +268,18 @@ func newGuardianMetrics(reg *obs.Registry) guardianMetrics {
 	for r := RungStepDown; r <= RungMigrate; r++ {
 		m.saved[r] = reg.Counter("quasaq_guardian_saved_total", "rung", r.String())
 	}
+	for _, nm := range qos.NetMetrics {
+		m.metricViolations[metricOf(nm)] =
+			reg.Counter("quasaq_guardian_metric_violations_total", "metric", nm.String())
+	}
+	m.qoeRecords = reg.Counter("quasaq_guardian_qoe_records_total")
 	return m
+}
+
+// QoELog receives the guardian's QoE history rows. *vdbms.Engine implements
+// it; tests may substitute a recorder or disable persistence with nil.
+type QoELog interface {
+	AppendQoE(vdbms.QoERecord) error
 }
 
 // Guardian watches every admitted delivery of one Manager.
@@ -250,10 +290,13 @@ type Guardian struct {
 	monitors map[*core.Delivery]*monitor
 	met      guardianMetrics
 	observer func(Event)
+	qoe      QoELog
+	seq      int // next session ordinal for QoE rows
 }
 
 // New creates a guardian and installs it as the manager's admission
-// observer: every delivery admitted from now on is monitored.
+// observer: every delivery admitted from now on is monitored. QoE history
+// rows go to the manager's own vdbms engine; SetQoELog overrides.
 func New(m *core.Manager, cfg Config) (*Guardian, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -265,9 +308,15 @@ func New(m *core.Manager, cfg Config) (*Guardian, error) {
 		monitors: make(map[*core.Delivery]*monitor),
 		met:      newGuardianMetrics(m.Registry()),
 	}
+	if e := m.Engine(); e != nil {
+		g.qoe = e
+	}
 	m.SetAdmissionObserver(g.Watch)
 	return g, nil
 }
+
+// SetQoELog redirects QoE history rows (nil disables persistence).
+func (g *Guardian) SetQoELog(l QoELog) { g.qoe = l }
 
 // Config returns the active (defaults-filled) configuration.
 func (g *Guardian) Config() Config { return g.cfg }
@@ -292,6 +341,12 @@ func (g *Guardian) Stats() Stats {
 		SavedStepDown:    g.met.saved[RungStepDown].Value(),
 		SavedRenegotiate: g.met.saved[RungRenegotiate].Value(),
 		SavedMigrate:     g.met.saved[RungMigrate].Value(),
+
+		LossViolations:       g.met.metricViolations[MetricLoss].Value(),
+		DelayViolations:      g.met.metricViolations[MetricDelay].Value(),
+		JitterViolations:     g.met.metricViolations[MetricJitter].Value(),
+		ThroughputViolations: g.met.metricViolations[MetricThroughput].Value(),
+		QoERecords:           g.met.qoeRecords.Value(),
 	}
 }
 
@@ -302,6 +357,43 @@ func (g *Guardian) emit(ev Event) {
 	if g.observer != nil {
 		ev.At = g.sim.Now()
 		g.observer(ev)
+	}
+}
+
+// qoeRun accumulates the breaching windows of one violation run: the
+// min/max/avg of the breached metric's window values and whether any window
+// reached "peak" severity (twice the threshold distance). It resets on a
+// clean window and after each declared violation.
+type qoeRun struct {
+	metric   Metric
+	n        int
+	min, max float64
+	sum      float64
+	peak     bool
+}
+
+// observe folds one breaching window into the run; a metric change (the
+// dominant cause shifted) restarts the run on the new metric.
+func (r *qoeRun) observe(v *Violation) {
+	if r.n == 0 || r.metric != v.Metric {
+		*r = qoeRun{metric: v.Metric, min: v.Observed, max: v.Observed}
+	}
+	r.n++
+	r.sum += v.Observed
+	if v.Observed < r.min {
+		r.min = v.Observed
+	}
+	if v.Observed > r.max {
+		r.max = v.Observed
+	}
+	// Peak: the window overshot by 2x the threshold distance — half the
+	// floor for higher-is-better throughput, twice the cap otherwise.
+	if v.Metric == MetricThroughput {
+		if v.Observed <= v.Threshold/2 {
+			r.peak = true
+		}
+	} else if v.Threshold > 0 && v.Observed >= 2*v.Threshold {
+		r.peak = true
 	}
 }
 
@@ -320,6 +412,11 @@ type monitor struct {
 	acted      bool // a rung has fired
 	lastRung   Rung // highest rung that acted
 	replanning bool // a renegotiate/migrate is in flight
+
+	seq     int    // session ordinal in QoE rows (stable across re-plans)
+	events  int    // QoE rows appended for this session (counter column)
+	run     qoeRun // breach-run accumulator for the current window streak
+	lastRun qoeRun // run snapshot of the last declared violation
 }
 
 // Watch begins monitoring a delivery (idempotent). Installed as the
@@ -329,7 +426,8 @@ func (g *Guardian) Watch(d *core.Delivery) {
 	if d == nil || g.monitors[d] != nil {
 		return
 	}
-	mon := &monitor{g: g, d: d, sess: d.Session}
+	mon := &monitor{g: g, d: d, sess: d.Session, seq: g.seq}
+	g.seq++
 	if d.Session != nil {
 		mon.last = d.Session.Observed()
 	}
@@ -392,6 +490,7 @@ func (mon *monitor) window() bool {
 	v := g.judge(d, cur, prev)
 	if v == nil {
 		mon.breaches = 0
+		mon.run = qoeRun{}
 		if mon.rung > 0 || mon.acted {
 			mon.cleans++
 			if mon.cleans >= g.cfg.ClearWindows && mon.rung > 0 {
@@ -399,12 +498,16 @@ func (mon *monitor) window() bool {
 				// worked): stop escalating, restart from the bottom.
 				mon.rung = 0
 				g.emit(Event{Kind: "recovered", Delivery: d})
+				if mon.lastRun.n > 0 {
+					g.recordQoE(mon, "recovered", mon.lastRun)
+				}
 			}
 		}
 		return true
 	}
 	mon.cleans = 0
 	mon.breaches++
+	mon.run.observe(v)
 	g.met.breaches.Inc()
 	g.emit(Event{Kind: "breach", Delivery: d, Violation: v})
 	if mon.breaches < g.cfg.BreachWindows {
@@ -413,6 +516,7 @@ func (mon *monitor) window() bool {
 	mon.breaches = 0
 	v.Windows = g.cfg.BreachWindows
 	g.met.violations.Inc()
+	g.met.metricViolations[v.Metric].Inc()
 	if !mon.violated {
 		mon.violated = true
 		g.met.violatedSessions.Inc()
@@ -421,13 +525,55 @@ func (mon *monitor) window() bool {
 		"metric": v.Metric.String(), "observed": v.Observed, "limit": v.Threshold,
 	})
 	g.emit(Event{Kind: "violation", Delivery: d, Violation: v})
+	mon.lastRun = mon.run
+	g.recordQoE(mon, "violation", mon.run)
+	mon.run = qoeRun{}
 	g.act(mon, v)
 	return g.monitors[d] == mon
 }
 
+// recordQoE appends one QoE history row through the configured sink — the
+// paper's qoe_errors relation: the vdbms records its own delivery quality,
+// so SLA analysis is a SELECT over the qoe table. The counter column is a
+// per-session ordinal; min/max/avg summarize the breaching windows of the
+// run being reported.
+func (g *Guardian) recordQoE(mon *monitor, kind string, run qoeRun) {
+	if g.qoe == nil {
+		return
+	}
+	d := mon.d
+	rec := vdbms.QoERecord{
+		Session:    mon.seq,
+		Video:      d.Video().Title,
+		Metric:     run.metric.String(),
+		Kind:       kind,
+		Counter:    mon.events,
+		Peak:       run.peak,
+		TimeMillis: g.sim.Now().Milliseconds(),
+	}
+	if run.n > 0 {
+		rec.Min, rec.Max, rec.Avg = run.min, run.max, run.sum/float64(run.n)
+	}
+	if d.Plan != nil {
+		rec.Site = d.Plan.DeliverySite
+	}
+	mon.events++
+	if err := g.qoe.AppendQoE(rec); err != nil {
+		d.Trace().Instant("guardian_qoe_append_error", map[string]any{"err": err.Error()})
+		return
+	}
+	g.met.qoeRecords.Inc()
+}
+
 // judge evaluates one window (the delta between two snapshots) against the
-// thresholds, returning the violation or nil. Loss outranks delay outranks
-// jitter: a window can breach several ways but one cause is actionable.
+// session's effective thresholds, returning the violation or nil. Per
+// metric, a term in the delivery's own QoS clause (Requirement.Net) is the
+// threshold; metrics the clause leaves unbounded fall back to the Config's
+// relative limits with the exact pre-clause semantics (strict >, delay and
+// jitter gated on a positive ideal, no throughput floor at all), so a
+// clause-free session behaves bit for bit as before. Metrics are checked
+// in precedence order — loss outranks delay outranks jitter outranks
+// throughput: a window can breach several ways but one cause is actionable.
 func (g *Guardian) judge(d *core.Delivery, cur, prev transport.ObservedQoS) *Violation {
 	violation := func(m Metric, observed, limit float64) *Violation {
 		v := &Violation{Metric: m, Observed: observed, Threshold: limit, Video: d.Video().Title}
@@ -443,19 +589,47 @@ func (g *Guardian) judge(d *core.Delivery, cur, prev transport.ObservedQoS) *Vio
 	if offered < float64(g.cfg.MinSamples) {
 		return nil // too thin to carry signal
 	}
-	if loss := (dLost + dShed) / offered; loss > g.cfg.MaxLoss {
-		return violation(MetricLoss, loss, g.cfg.MaxLoss)
-	}
 	ideal := cur.IdealDelayMillis
 	dDelays := cur.Delays - prev.Delays
-	if ideal <= 0 || dDelays < g.cfg.MinSamples {
-		return nil
+	delayValid := dDelays >= g.cfg.MinSamples
+	win := qos.NetQoS{Loss: (dLost + dShed) / offered}
+	if delayValid {
+		win.DelayMillis = (cur.DelaySumMillis - prev.DelaySumMillis) / float64(dDelays)
+		win.JitterMillis = (cur.JitterSumMillis - prev.JitterSumMillis) / float64(dDelays)
 	}
-	if mean := (cur.DelaySumMillis - prev.DelaySumMillis) / float64(dDelays); mean > g.cfg.DelayFactor*ideal {
-		return violation(MetricDelay, mean, g.cfg.DelayFactor*ideal)
+	if secs := simtime.ToSeconds(g.cfg.Interval); secs > 0 {
+		win.ThroughputBps = float64(cur.Bytes-prev.Bytes) / secs
 	}
-	if jitter := (cur.JitterSumMillis - prev.JitterSumMillis) / float64(dDelays); jitter > g.cfg.JitterFactor*ideal {
-		return violation(MetricJitter, jitter, g.cfg.JitterFactor*ideal)
+	req := d.Requirement()
+	for _, m := range qos.NetMetrics {
+		t, clause := req.NetThreshold(m)
+		switch {
+		case clause:
+			if (m == qos.NetDelay || m == qos.NetJitter) && !delayValid {
+				continue // too few delay samples to form a window mean
+			}
+		case m == qos.NetLoss:
+			t = qos.Threshold{Metric: m, Dir: qos.AtMost, Bound: g.cfg.MaxLoss}
+		case m == qos.NetDelay || m == qos.NetJitter:
+			if ideal <= 0 || !delayValid {
+				continue
+			}
+			f := g.cfg.DelayFactor
+			if m == qos.NetJitter {
+				f = g.cfg.JitterFactor
+			}
+			t = qos.Threshold{Metric: m, Dir: qos.AtMost, Bound: f * ideal}
+		default:
+			continue // throughput is clause-only: the config has no floor
+		}
+		val := win.Value(m)
+		breached := !t.Met(val)
+		if !clause {
+			breached = val > t.Bound // bit-exact pre-clause comparison
+		}
+		if breached {
+			return violation(metricOf(m), val, t.Bound)
+		}
 	}
 	return nil
 }
@@ -532,6 +706,11 @@ func cheaperRequirement(d *core.Delivery) (qos.Requirement, bool) {
 		MaxFrameRate:  cur.FrameRate,
 		Formats:       orig.Formats,
 		Security:      orig.Security,
+		// The net clause is the user's contract, not a quality knob: it
+		// rides through renegotiation untouched. If no cheaper plan can
+		// satisfy it, re-admission rejects (ErrQoSUnsatisfiable) and the
+		// ladder escalates past this rung.
+		Net: orig.Net,
 	}, true
 }
 
@@ -579,6 +758,12 @@ func (g *Guardian) adopt(old *monitor, nd *core.Delivery) {
 		nm.violated = old.violated
 		nm.acted = old.acted
 		nm.lastRung = old.lastRung
+		// The QoE time-series follows the session across re-plans: same
+		// ordinal, continuing counter, pending breach run carried over.
+		nm.seq = old.seq
+		nm.events = old.events
+		nm.run = old.run
+		nm.lastRun = old.lastRun
 	}
 	g.drop(old)
 }

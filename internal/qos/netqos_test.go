@@ -1,0 +1,136 @@
+package qos
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestThresholdMet(t *testing.T) {
+	cases := []struct {
+		th   Threshold
+		v    float64
+		want bool
+	}{
+		{Threshold{NetDelay, AtMost, 40}, 39, true},
+		{Threshold{NetDelay, AtMost, 40}, 40, true}, // inclusive
+		{Threshold{NetDelay, AtMost, 40}, 41, false},
+		{Threshold{NetLoss, AtMost, 0.05}, 0.05, true},
+		{Threshold{NetLoss, AtMost, 0.05}, 0.0501, false},
+		{Threshold{NetThroughput, AtLeast, 500000}, 500000, true},
+		{Threshold{NetThroughput, AtLeast, 500000}, 499999, false},
+		{Threshold{NetThroughput, AtLeast, 500000}, 600000, true},
+	}
+	for _, c := range cases {
+		if got := c.th.Met(c.v); got != c.want {
+			t.Errorf("%v.Met(%v) = %v, want %v", c.th, c.v, got, c.want)
+		}
+	}
+}
+
+func TestCanonicalDirection(t *testing.T) {
+	want := map[NetMetric]Direction{
+		NetLoss: AtMost, NetDelay: AtMost, NetJitter: AtMost, NetThroughput: AtLeast,
+	}
+	for m, d := range want {
+		if CanonicalDirection(m) != d {
+			t.Errorf("CanonicalDirection(%s) = %s, want %s", m, CanonicalDirection(m), d)
+		}
+	}
+}
+
+func TestParseNetMetricRoundTrip(t *testing.T) {
+	for _, m := range NetMetrics {
+		got, err := ParseNetMetric(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseNetMetric(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseNetMetric("latency"); err == nil {
+		t.Error("ParseNetMetric accepted unknown metric")
+	}
+}
+
+func TestAdmitsANDComposition(t *testing.T) {
+	// The SNIPPETS multi-metric example: satisfied = (delay <= 40) AND
+	// (loss <= 0.05) AND (throughput >= 500k).
+	req := Requirement{}.WithNet(
+		Threshold{NetDelay, AtMost, 40},
+		Threshold{NetLoss, AtMost, 0.05},
+		Threshold{NetThroughput, AtLeast, 500000},
+	)
+	ok := NetQoS{DelayMillis: 35, Loss: 0.01, ThroughputBps: 600000}
+	if !req.Admits(ok) {
+		t.Fatalf("Admits(%+v) = false, want true", ok)
+	}
+	for name, bad := range map[string]NetQoS{
+		"delay":      {DelayMillis: 45, Loss: 0.01, ThroughputBps: 600000},
+		"loss":       {DelayMillis: 35, Loss: 0.08, ThroughputBps: 600000},
+		"throughput": {DelayMillis: 35, Loss: 0.01, ThroughputBps: 400000},
+	} {
+		if req.Admits(bad) {
+			t.Errorf("Admits should fail when %s violates: %+v", name, bad)
+		}
+	}
+	if !(Requirement{}).Admits(NetQoS{DelayMillis: 1e9, Loss: 1}) {
+		t.Error("empty requirement must admit everything")
+	}
+}
+
+func TestFirstViolatedPrecedence(t *testing.T) {
+	req := Requirement{}.WithNet(
+		Threshold{NetJitter, AtMost, 10},
+		Threshold{NetDelay, AtMost, 40},
+		Threshold{NetLoss, AtMost, 0.05},
+	)
+	// Everything violated at once: loss must win (loss > delay > jitter).
+	v, bad := req.FirstViolated(NetQoS{DelayMillis: 100, JitterMillis: 50, Loss: 0.5})
+	if !bad || v.Metric != NetLoss {
+		t.Fatalf("FirstViolated = %v, %v; want loss first", v, bad)
+	}
+	// Loss fine, delay and jitter violated: delay wins.
+	v, bad = req.FirstViolated(NetQoS{DelayMillis: 100, JitterMillis: 50, Loss: 0.01})
+	if !bad || v.Metric != NetDelay {
+		t.Fatalf("FirstViolated = %v, %v; want delay next", v, bad)
+	}
+	// Only jitter violated.
+	v, bad = req.FirstViolated(NetQoS{DelayMillis: 10, JitterMillis: 50, Loss: 0.01})
+	if !bad || v.Metric != NetJitter {
+		t.Fatalf("FirstViolated = %v, %v; want jitter", v, bad)
+	}
+}
+
+func TestWithNetCanonicalOrder(t *testing.T) {
+	a := Requirement{}.WithNet(
+		Threshold{NetThroughput, AtLeast, 1000},
+		Threshold{NetLoss, AtMost, 0.05},
+		Threshold{NetDelay, AtMost, 40},
+	)
+	b := Requirement{}.WithNet(
+		Threshold{NetDelay, AtMost, 40},
+		Threshold{NetThroughput, AtLeast, 1000},
+		Threshold{NetLoss, AtMost, 0.05},
+	)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("WithNet order-sensitive: %+v vs %+v", a, b)
+	}
+	if a.Net[0].Metric != NetLoss || a.Net[2].Metric != NetThroughput {
+		t.Fatalf("not canonical order: %+v", a.Net)
+	}
+}
+
+func TestRequirementStringWithNetTerms(t *testing.T) {
+	req := Requirement{
+		MinResolution: ResVCD,
+		MinFrameRate:  20,
+		Formats:       []Format{FormatMPEG1, FormatMPEG2},
+	}.WithNet(
+		Threshold{NetDelay, AtMost, 40},
+		Threshold{NetLoss, AtMost, 0.05},
+		Threshold{NetThroughput, AtLeast, 500000},
+	)
+	want := "res>=320x240, fps>=20, format IN (MPEG1,MPEG2), " +
+		"loss <= 0.05, delay <= 40, throughput >= 500000"
+	if got := req.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

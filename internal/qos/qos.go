@@ -159,6 +159,13 @@ type Requirement struct {
 	MaxFrameRate  float64
 	Formats       []Format      // acceptable formats; empty = any
 	Security      SecurityLevel // minimum required security
+
+	// Net holds the AND-composed network-metric thresholds of the clause
+	// (delay <=, jitter <=, loss <=, throughput >=), kept in canonical
+	// precedence order (see normalizeNet). Empty means no network terms:
+	// admission prices plans on app QoS alone and the guardian falls back
+	// to its config-relative thresholds.
+	Net []Threshold
 }
 
 // SatisfiedBy reports whether a concrete presentation quality q meets every
@@ -217,10 +224,13 @@ func (r Requirement) String() string {
 		for i, f := range r.Formats {
 			names[i] = f.String()
 		}
-		parts = append(parts, "format in {"+strings.Join(names, ",")+"}")
+		parts = append(parts, "format IN ("+strings.Join(names, ",")+")")
 	}
 	if r.Security != SecurityNone {
 		parts = append(parts, "security>="+r.Security.String())
+	}
+	for _, t := range normalizeNet(r.Net) {
+		parts = append(parts, t.String())
 	}
 	if len(parts) == 0 {
 		return "any"

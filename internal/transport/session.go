@@ -605,6 +605,7 @@ type ObservedQoS struct {
 	FramesLost       float64 // lost to link saturation (fractional, per GOP)
 	FramesShed       int     // dropped at the server under CPU backlog
 	LossFraction     float64 // (lost+shed) / (delivered+lost+shed)
+	Bytes            int64   // cumulative payload bytes delivered
 }
 
 // Observed snapshots the session's observed QoS.
@@ -618,6 +619,7 @@ func (s *Session) Observed() ObservedQoS {
 		FramesLost:       s.framesLost,
 		FramesShed:       s.framesShed,
 		LossFraction:     s.LossRatio(),
+		Bytes:            s.bytesSent,
 	}
 	if o.Delays > 0 {
 		o.MeanDelayMillis = s.delayStats.Mean()

@@ -58,6 +58,14 @@ type Engine struct {
 	videos   map[media.VideoID]*media.Video
 	shots    map[media.VideoID][]Shot
 	stats    ExecStats
+
+	// The qoe table (see qoe.go) lives on the same volume under its own
+	// lock so append-heavy guardian traffic never contends with catalog
+	// reads on the admission path.
+	qmu        sync.RWMutex
+	qoeHeap    *storage.HeapFile
+	qoeTimeIdx *storage.BTree // TimeMillis -> OID, duplicates
+	qoeCount   int
 }
 
 // NewEngine creates an engine with its own volume and buffer pool.
@@ -80,15 +88,21 @@ func NewEngine() *Engine {
 	if err != nil {
 		panic(err)
 	}
+	qoeTimeIdx, err := storage.NewBTree(pool, vol)
+	if err != nil {
+		panic(err)
+	}
 	return &Engine{
-		heap:     storage.NewHeapFile(pool, vol),
-		idIdx:    idIdx,
-		durIdx:   durIdx,
-		titleIdx: titleIdx,
-		tagIdx:   tagIdx,
-		byID:     make(map[media.VideoID]storage.OID),
-		videos:   make(map[media.VideoID]*media.Video),
-		shots:    make(map[media.VideoID][]Shot),
+		heap:       storage.NewHeapFile(pool, vol),
+		idIdx:      idIdx,
+		durIdx:     durIdx,
+		titleIdx:   titleIdx,
+		tagIdx:     tagIdx,
+		byID:       make(map[media.VideoID]storage.OID),
+		videos:     make(map[media.VideoID]*media.Video),
+		shots:      make(map[media.VideoID][]Shot),
+		qoeHeap:    storage.NewHeapFile(pool, vol),
+		qoeTimeIdx: qoeTimeIdx,
 	}
 }
 

@@ -20,10 +20,20 @@ import (
 //	  [WITH QOS ( <qos-term> {, <qos-term>} )]
 //
 // Predicates combine comparisons over id, title, duration, fps and
-// tags CONTAINS '<tag>' with AND/OR/NOT and parentheses. QoS terms:
+// tags CONTAINS '<tag>' with AND/OR/NOT and parentheses (for FROM qoe the
+// field set is the persisted QoE schema — see qoe.go). QoS terms are
+// AND-composed; app-level:
 //
 //	resolution >= 320x240 | resolution <= 'VCD' | depth >= 16 |
 //	fps >= 20 | fps <= 30 | format IN (MPEG1, MPEG2) | security >= standard
+//
+// and network-level, each bounded only in its canonical direction (delay
+// and jitter in milliseconds, loss as a fraction, throughput in bytes/s):
+//
+//	delay <= 40 | jitter <= 10 | loss <= 0.05 | throughput >= 500000
+//
+// Duplicate terms and contradictory ranges (min > max) are positioned
+// parse errors, not last-wins.
 type Query struct {
 	Table     string
 	Where     Expr // nil = match all
@@ -128,8 +138,24 @@ func (e containsExpr) Eval(r *Row) bool {
 }
 
 type parser struct {
-	toks []token
-	pos  int
+	toks  []token
+	pos   int
+	table string // lowercased FROM table; selects the field whitelist
+}
+
+// tableFields returns the string- and numeric-typed fields queryable for a
+// table. The videos catalog exposes the paper's content fields; the qoe
+// table exposes the persisted violation-record schema (see qoe.go). Unknown
+// tables fall back to the videos whitelist so the parser error stays at the
+// execution layer, matching historical behavior.
+func tableFields(table string) (str, num map[string]bool) {
+	if table == "qoe" {
+		return map[string]bool{"video": true, "site": true, "metric": true, "kind": true},
+			map[string]bool{"session": true, "counter": true, "min": true, "max": true,
+				"avg": true, "peak": true, "time": true}
+	}
+	return map[string]bool{"title": true},
+		map[string]bool{"id": true, "duration": true, "fps": true}
 }
 
 // Parse parses a QoS-aware query.
@@ -187,6 +213,7 @@ func (p *parser) parseQuery() (*Query, error) {
 		return nil, err
 	}
 	q := &Query{Table: tbl.text}
+	p.table = strings.ToLower(tbl.text)
 	if p.accept(tokKeyword, "WHERE") {
 		q.Where, err = p.parseOr()
 		if err != nil {
@@ -285,7 +312,8 @@ func (p *parser) parseComparison() (Expr, error) {
 		return nil, err
 	}
 	name := strings.ToLower(field.text)
-	if name == "tags" {
+	strFields, numFields := tableFields(p.table)
+	if name == "tags" && p.table != "qoe" {
 		if _, err := p.expect(tokKeyword, "CONTAINS"); err != nil {
 			return nil, err
 		}
@@ -295,9 +323,7 @@ func (p *parser) parseComparison() (Expr, error) {
 		}
 		return containsExpr{tag: tag.text}, nil
 	}
-	switch name {
-	case "id", "title", "duration", "fps":
-	default:
+	if !strFields[name] && !numFields[name] {
 		return nil, fmt.Errorf("vdbms: unknown field %q at %d", field.text, field.pos)
 	}
 	if p.cur().kind != tokOp {
@@ -315,7 +341,7 @@ func (p *parser) parseComparison() (Expr, error) {
 	val := p.next()
 	switch val.kind {
 	case tokString:
-		if name != "title" {
+		if !strFields[name] {
 			return nil, fmt.Errorf("vdbms: field %q needs a numeric value", name)
 		}
 		if op != "=" && op != "!=" {
@@ -323,8 +349,8 @@ func (p *parser) parseComparison() (Expr, error) {
 		}
 		return cmpExpr{field: name, op: op, str: val.text}, nil
 	case tokNumber:
-		if name == "title" {
-			return nil, fmt.Errorf("vdbms: title needs a string value")
+		if strFields[name] {
+			return nil, fmt.Errorf("vdbms: field %q needs a string value", name)
 		}
 		f, err := strconv.ParseFloat(val.text, 64)
 		if err != nil {

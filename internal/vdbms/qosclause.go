@@ -19,15 +19,51 @@ var namedResolutions = map[string]qos.Resolution{
 	"DVD":  qos.ResDVD,
 }
 
+// qosClause accumulates one WITH QOS (...) clause during parsing: the
+// application-level requirement, the network thresholds, and the source
+// position of every term seen so far so duplicates and contradictions can
+// be diagnosed with positions instead of silently last-winning.
+type qosClause struct {
+	req  qos.Requirement
+	net  []qos.Threshold
+	seen map[string]int // canonical term key -> pos of first occurrence
+}
+
+// mark records the first occurrence of a term key or returns a positioned
+// duplicate error. Keys carry the bound side ("fps>=", "fps<=") so a range
+// written as two terms is legal but restating one side is not.
+func (c *qosClause) mark(key string, t token) error {
+	if prev, ok := c.seen[key]; ok {
+		return fmt.Errorf("vdbms: duplicate QoS term %q at %d (first at %d)", key, t.pos, prev)
+	}
+	c.seen[key] = t.pos
+	return nil
+}
+
+// finish validates the complete clause for contradictions and returns the
+// assembled requirement with network thresholds in canonical order.
+func (c *qosClause) finish() (qos.Requirement, error) {
+	r := &c.req
+	if r.MinFrameRate > 0 && r.MaxFrameRate > 0 && r.MinFrameRate > r.MaxFrameRate {
+		return c.req, fmt.Errorf("vdbms: contradictory fps bounds: min %g > max %g (terms at %d and %d)",
+			r.MinFrameRate, r.MaxFrameRate, c.seen["fps>="], c.seen["fps<="])
+	}
+	if r.MinResolution.W > 0 && r.MaxResolution.W > 0 && !r.MaxResolution.AtLeast(r.MinResolution) {
+		return c.req, fmt.Errorf("vdbms: contradictory resolution bounds: min %s exceeds max %s (terms at %d and %d)",
+			r.MinResolution, r.MaxResolution, c.seen["resolution>="], c.seen["resolution<="])
+	}
+	return c.req.WithNet(c.net...), nil
+}
+
 // parseQoS parses the parenthesized term list after WITH QOS.
 func (p *parser) parseQoS() (qos.Requirement, error) {
-	var req qos.Requirement
+	clause := &qosClause{seen: make(map[string]int)}
 	if _, err := p.expect(tokOp, "("); err != nil {
-		return req, err
+		return clause.req, err
 	}
 	for {
-		if err := p.parseQoSTerm(&req); err != nil {
-			return req, err
+		if err := p.parseQoSTerm(clause); err != nil {
+			return clause.req, err
 		}
 		if p.accept(tokOp, ",") {
 			continue
@@ -35,16 +71,48 @@ func (p *parser) parseQoS() (qos.Requirement, error) {
 		break
 	}
 	if _, err := p.expect(tokOp, ")"); err != nil {
-		return req, err
+		return clause.req, err
 	}
-	return req, nil
+	return clause.finish()
 }
 
-func (p *parser) parseQoSTerm(req *qos.Requirement) error {
+// ParseRequirement parses a bare QoS term list — the body of a WITH QOS
+// clause without the enclosing parentheses, exactly the syntax
+// qos.Requirement.String() produces. "any" or an empty string parses to
+// the zero requirement (String's rendering of it). This is the inverse
+// direction of the round-trip property: ParseRequirement(r.String()) == r.
+func ParseRequirement(src string) (qos.Requirement, error) {
+	s := strings.TrimSpace(src)
+	if s == "" || strings.EqualFold(s, "any") {
+		return qos.Requirement{}, nil
+	}
+	toks, err := lex(s)
+	if err != nil {
+		return qos.Requirement{}, err
+	}
+	p := &parser{toks: toks}
+	clause := &qosClause{seen: make(map[string]int)}
+	for {
+		if err := p.parseQoSTerm(clause); err != nil {
+			return clause.req, err
+		}
+		if p.accept(tokOp, ",") {
+			continue
+		}
+		break
+	}
+	if !p.at(tokEOF, "") {
+		return clause.req, fmt.Errorf("vdbms: trailing input at %q", p.cur().text)
+	}
+	return clause.finish()
+}
+
+func (p *parser) parseQoSTerm(c *qosClause) error {
 	field, err := p.expect(tokIdent, "")
 	if err != nil {
 		return err
 	}
+	req := &c.req
 	name := strings.ToLower(field.text)
 	switch name {
 	case "resolution", "res":
@@ -58,15 +126,30 @@ func (p *parser) parseQoSTerm(req *qos.Requirement) error {
 		}
 		switch op {
 		case ">=":
+			if err := c.mark("resolution>=", field); err != nil {
+				return err
+			}
 			req.MinResolution = r
 		case "<=":
+			if err := c.mark("resolution<=", field); err != nil {
+				return err
+			}
 			req.MaxResolution = r
 		case "=":
+			if err := c.mark("resolution>=", field); err != nil {
+				return err
+			}
+			if err := c.mark("resolution<=", field); err != nil {
+				return err
+			}
 			req.MinResolution, req.MaxResolution = r, r
 		default:
 			return fmt.Errorf("vdbms: resolution supports >=, <=, =; got %q", op)
 		}
 	case "depth", "color", "colordepth":
+		if err := c.mark("depth", field); err != nil {
+			return err
+		}
 		if _, err := p.expect(tokOp, ">="); err != nil {
 			return err
 		}
@@ -94,15 +177,30 @@ func (p *parser) parseQoSTerm(req *qos.Requirement) error {
 		}
 		switch op {
 		case ">=":
+			if err := c.mark("fps>=", field); err != nil {
+				return err
+			}
 			req.MinFrameRate = f
 		case "<=":
+			if err := c.mark("fps<=", field); err != nil {
+				return err
+			}
 			req.MaxFrameRate = f
 		case "=":
+			if err := c.mark("fps>=", field); err != nil {
+				return err
+			}
+			if err := c.mark("fps<=", field); err != nil {
+				return err
+			}
 			req.MinFrameRate, req.MaxFrameRate = f, f
 		default:
 			return fmt.Errorf("vdbms: fps supports >=, <=, =; got %q", op)
 		}
 	case "format":
+		if err := c.mark("format", field); err != nil {
+			return err
+		}
 		if _, err := p.expect(tokKeyword, "IN"); err != nil {
 			return err
 		}
@@ -128,6 +226,9 @@ func (p *parser) parseQoSTerm(req *qos.Requirement) error {
 			return err
 		}
 	case "security":
+		if err := c.mark("security", field); err != nil {
+			return err
+		}
 		if _, err := p.expect(tokOp, ">="); err != nil {
 			return err
 		}
@@ -145,9 +246,64 @@ func (p *parser) parseQoSTerm(req *qos.Requirement) error {
 		default:
 			return fmt.Errorf("vdbms: unknown security level %q", lvl.text)
 		}
+	case "delay", "jitter", "loss", "throughput":
+		return p.parseNetTerm(c, field, name)
 	default:
 		return fmt.Errorf("vdbms: unknown QoS term %q at %d", field.text, field.pos)
 	}
+	return nil
+}
+
+// parseNetTerm parses one network-metric threshold (delay <= N, jitter <=
+// N, loss <= F, throughput >= N). Each metric admits only its canonical
+// direction — you cannot demand *at least* some delay or *at most* some
+// throughput. Units: delay/jitter in milliseconds, loss as a fraction in
+// [0,1], throughput in bytes per second (the ResNetBandwidth unit).
+func (p *parser) parseNetTerm(c *qosClause, field token, name string) error {
+	if err := c.mark(name, field); err != nil {
+		return err
+	}
+	m, err := qos.ParseNetMetric(name)
+	if err != nil {
+		return err
+	}
+	if p.cur().kind != tokOp {
+		return fmt.Errorf("vdbms: expected operator after %s at %d", name, field.pos)
+	}
+	opTok := p.next()
+	want := qos.CanonicalDirection(m)
+	var dir qos.Direction
+	switch opTok.text {
+	case "<=":
+		dir = qos.AtMost
+	case ">=":
+		dir = qos.AtLeast
+	default:
+		return fmt.Errorf("vdbms: %s supports only %q; got %q at %d", name, want, opTok.text, opTok.pos)
+	}
+	if dir != want {
+		side := "lower"
+		if want == qos.AtLeast {
+			side = "higher"
+		}
+		return fmt.Errorf("vdbms: %s is %s-is-better; bound it with %q, got %q at %d",
+			name, side, want, opTok.text, opTok.pos)
+	}
+	n, err := p.expect(tokNumber, "")
+	if err != nil {
+		return err
+	}
+	v, err := strconv.ParseFloat(n.text, 64)
+	if err != nil {
+		return fmt.Errorf("vdbms: bad %s bound %q at %d", name, n.text, n.pos)
+	}
+	if m == qos.NetLoss && v > 1 {
+		return fmt.Errorf("vdbms: loss bound %g at %d is a fraction and must be <= 1", v, n.pos)
+	}
+	if v < 0 {
+		return fmt.Errorf("vdbms: negative %s bound %g at %d", name, v, n.pos)
+	}
+	c.net = append(c.net, qos.Threshold{Metric: m, Dir: dir, Bound: v})
 	return nil
 }
 

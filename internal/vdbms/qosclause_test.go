@@ -1,0 +1,206 @@
+package vdbms
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"quasaq/internal/qos"
+)
+
+func TestParseQoSNetTerms(t *testing.T) {
+	q, err := Parse("SELECT * FROM videos WITH QOS (" +
+		"resolution >= VCD, fps >= 20, " +
+		"throughput >= 500000, delay <= 40, jitter <= 10, loss <= 0.05)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []qos.Threshold{
+		{Metric: qos.NetLoss, Dir: qos.AtMost, Bound: 0.05},
+		{Metric: qos.NetDelay, Dir: qos.AtMost, Bound: 40},
+		{Metric: qos.NetJitter, Dir: qos.AtMost, Bound: 10},
+		{Metric: qos.NetThroughput, Dir: qos.AtLeast, Bound: 500000},
+	}
+	if !reflect.DeepEqual(q.QoS.Net, want) {
+		t.Fatalf("Net = %+v, want canonical order %+v", q.QoS.Net, want)
+	}
+	if q.QoS.MinResolution != qos.ResVCD || q.QoS.MinFrameRate != 20 {
+		t.Fatalf("app terms lost: %+v", q.QoS)
+	}
+}
+
+// TestParseQoSGoldenPreExisting pins that every pre-existing QoS query
+// shape parses to exactly the Requirement it produced before network-metric
+// terms existed — Net stays nil (not empty), so struct equality, gob bytes
+// and plan-cache keys are all unchanged.
+func TestParseQoSGoldenPreExisting(t *testing.T) {
+	cases := []struct {
+		src  string
+		want qos.Requirement
+	}{
+		{
+			"SELECT * FROM videos WITH QOS (resolution >= VCD, resolution <= CIF)",
+			qos.Requirement{MinResolution: qos.ResVCD, MaxResolution: qos.ResCIF},
+		},
+		{
+			"SELECT * FROM videos WHERE id = 1 WITH QOS (" +
+				"resolution >= 'VCD', resolution <= 352x288, depth >= 16, " +
+				"fps >= 20, fps <= 30, format IN (MPEG1, MPEG2), security >= standard)",
+			qos.Requirement{
+				MinResolution: qos.ResVCD, MaxResolution: qos.ResCIF,
+				MinColorDepth: 16, MinFrameRate: 20, MaxFrameRate: 30,
+				Formats:  []qos.Format{qos.FormatMPEG1, qos.FormatMPEG2},
+				Security: qos.SecurityStandard,
+			},
+		},
+		{
+			"SELECT * FROM videos WITH QOS (resolution = 720x480, fps = 24)",
+			qos.Requirement{
+				MinResolution: qos.ResDVD, MaxResolution: qos.ResDVD,
+				MinFrameRate: 24, MaxFrameRate: 24,
+			},
+		},
+		{
+			"SELECT * FROM videos WITH QOS (depth >= 24, security >= strong)",
+			qos.Requirement{MinColorDepth: 24, Security: qos.SecurityStrong},
+		},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		if !reflect.DeepEqual(q.QoS, c.want) {
+			t.Errorf("%s:\n got %#v\nwant %#v", c.src, q.QoS, c.want)
+		}
+		if q.QoS.Net != nil {
+			t.Errorf("%s: Net must stay nil for clause without net terms", c.src)
+		}
+	}
+}
+
+func TestParseQoSDuplicateTermsPositioned(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"SELECT * FROM videos WITH QOS (delay <= 40, delay <= 80)", `duplicate QoS term "delay"`},
+		{"SELECT * FROM videos WITH QOS (fps >= 10, fps >= 20)", `duplicate QoS term "fps>="`},
+		{"SELECT * FROM videos WITH QOS (fps = 24, fps <= 30)", `duplicate QoS term "fps<="`},
+		{"SELECT * FROM videos WITH QOS (resolution >= VCD, res >= CIF)", `duplicate QoS term "resolution>="`},
+		{"SELECT * FROM videos WITH QOS (depth >= 8, colordepth >= 16)", `duplicate QoS term "depth"`},
+		{"SELECT * FROM videos WITH QOS (loss <= 0.1, loss <= 0.2)", `duplicate QoS term "loss"`},
+		{"SELECT * FROM videos WITH QOS (security >= none, security >= strong)", `duplicate QoS term "security"`},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("accepted duplicate terms: %s", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) || !strings.Contains(err.Error(), "at ") {
+			t.Errorf("%s: error %q lacks %q or position", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseQoSContradictionsPositioned(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"SELECT * FROM videos WITH QOS (fps >= 30, fps <= 20)", "contradictory fps bounds"},
+		{"SELECT * FROM videos WITH QOS (resolution >= DVD, resolution <= QCIF)", "contradictory resolution bounds"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("accepted contradictory clause: %s", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q lacks %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseQoSNetDirectionErrors(t *testing.T) {
+	cases := []string{
+		"SELECT * FROM videos WITH QOS (delay >= 40)",
+		"SELECT * FROM videos WITH QOS (jitter >= 10)",
+		"SELECT * FROM videos WITH QOS (loss >= 0.05)",
+		"SELECT * FROM videos WITH QOS (throughput <= 500000)",
+		"SELECT * FROM videos WITH QOS (delay = 40)",
+		"SELECT * FROM videos WITH QOS (loss <= 1.5)",
+		"SELECT * FROM videos WITH QOS (delay <= abc)",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted invalid net term: %s", src)
+		}
+	}
+}
+
+// TestRequirementStringRoundTrip is the property test: for a generated
+// table of requirements — app terms, net terms, and mixtures —
+// ParseRequirement(r.String()) must reproduce r exactly.
+func TestRequirementStringRoundTrip(t *testing.T) {
+	resOpts := []qos.Resolution{{}, qos.ResQCIF, qos.ResVCD, qos.ResSD}
+	fpsOpts := []float64{0, 12.5, 23.97, 30}
+	fmtOpts := [][]qos.Format{nil, {qos.FormatMPEG1}, {qos.FormatMPEG1, qos.FormatMPEG2, qos.FormatMJPEG}}
+	netOpts := [][]qos.Threshold{
+		nil,
+		{{Metric: qos.NetDelay, Dir: qos.AtMost, Bound: 40}},
+		{
+			{Metric: qos.NetLoss, Dir: qos.AtMost, Bound: 0.05},
+			{Metric: qos.NetThroughput, Dir: qos.AtLeast, Bound: 512000},
+		},
+		{
+			{Metric: qos.NetLoss, Dir: qos.AtMost, Bound: 0.125},
+			{Metric: qos.NetDelay, Dir: qos.AtMost, Bound: 62.5},
+			{Metric: qos.NetJitter, Dir: qos.AtMost, Bound: 15},
+			{Metric: qos.NetThroughput, Dir: qos.AtLeast, Bound: 250000},
+		},
+	}
+	n := 0
+	for i, minRes := range resOpts {
+		for j, minFPS := range fpsOpts {
+			for k, formats := range fmtOpts {
+				for l, net := range netOpts {
+					r := qos.Requirement{
+						MinResolution: minRes,
+						MinFrameRate:  minFPS,
+						Formats:       formats,
+						Security:      qos.SecurityLevel((i + j + k + l) % 3),
+					}
+					if minRes.W > 0 {
+						r.MaxResolution = qos.ResDVD
+					}
+					if minFPS > 0 {
+						r.MaxFrameRate = minFPS + 10
+					}
+					if j%2 == 0 {
+						r.MinColorDepth = 8 * (k + 1)
+					}
+					r = r.WithNet(net...)
+					got, err := ParseRequirement(r.String())
+					if err != nil {
+						t.Fatalf("ParseRequirement(%q): %v", r.String(), err)
+					}
+					if !reflect.DeepEqual(got, r) {
+						t.Fatalf("round-trip of %q:\n got %#v\nwant %#v", r.String(), got, r)
+					}
+					n++
+				}
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("no cases generated")
+	}
+	// The zero requirement renders as "any" and must round-trip too.
+	if got, err := ParseRequirement(qos.Requirement{}.String()); err != nil || !reflect.DeepEqual(got, qos.Requirement{}) {
+		t.Fatalf(`ParseRequirement("any") = %#v, %v`, got, err)
+	}
+}

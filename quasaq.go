@@ -112,6 +112,19 @@ type (
 	// ObservedQoS is a session's observed-QoS snapshot (delay, jitter,
 	// loss), read via Delivery.Observed.
 	ObservedQoS = transport.ObservedQoS
+	// NetMetric names a network-level QoS metric a WITH QOS clause can
+	// bound: delay, jitter, loss, throughput.
+	NetMetric = qos.NetMetric
+	// NetThreshold is one directional network-metric bound (e.g.
+	// "delay <= 40"); Requirement.WithNet AND-composes them.
+	NetThreshold = qos.Threshold
+	// NetQoS is an observed or priced network-metric vector, judged
+	// against a Requirement's net terms via Requirement.Admits.
+	NetQoS = qos.NetQoS
+	// QoERecord is one row of the qoe history table: a violation or
+	// recovery the guardian persisted through the vdbms, read back via
+	// DB.QoEQuery.
+	QoERecord = vdbms.QoERecord
 	// FarmConfig configures the elastic transcoding farm (worker classes
 	// plus autoscaler); the zero value is a neutral single-instant-worker
 	// farm indistinguishable from inline transcoding.
@@ -145,6 +158,25 @@ const (
 	GuardianMigrate     = guardian.RungMigrate
 	GuardianAbandon     = guardian.RungAbandon
 )
+
+// Network metrics a WITH QOS clause can bound, and the two bound
+// directions. Delay, jitter, and loss are lower-is-better (NetAtMost);
+// throughput is higher-is-better (NetAtLeast).
+const (
+	NetLoss       = qos.NetLoss
+	NetDelay      = qos.NetDelay
+	NetJitter     = qos.NetJitter
+	NetThroughput = qos.NetThroughput
+
+	NetAtMost  = qos.AtMost
+	NetAtLeast = qos.AtLeast
+)
+
+// ParseRequirement parses a bare QoS-term list — the text inside WITH QOS
+// (...) — into a Requirement, including network-metric terms ("delay <= 40,
+// loss <= 0.05, throughput >= 500000"). "any" or "" parse to the
+// unconstrained Requirement.
+var ParseRequirement = vdbms.ParseRequirement
 
 // TestbedControlPlane returns realistic LAN control-plane parameters (5 ms
 // one-way latency, 40 ms timeouts, two retries, 250 ms prepare TTL).
@@ -469,6 +501,10 @@ var (
 	// degradation ladder ran out; the chain carries the violated metric as
 	// a *QoSViolation (errors.As).
 	ErrQoSAbandoned = guardian.ErrQoSAbandoned
+	// ErrQoSUnsatisfiable: no candidate plan's priced network vector could
+	// meet the query's WITH QOS network terms; always wrapped under
+	// ErrRejected.
+	ErrQoSUnsatisfiable = core.ErrQoSUnsatisfiable
 	// ErrBrokerOpen: a control call was fast-failed by an open per-site
 	// circuit breaker; found on ErrRejected chains via errors.Is.
 	ErrBrokerOpen = broker.ErrBrokerOpen
@@ -597,9 +633,12 @@ func (db *DB) RenegotiateAsync(d *Delivery, req Requirement, done func(*Delivery
 
 // EnableGuardian starts the runtime QoS guardian: every delivery admitted
 // from now on is sampled against its admitted requirement on the virtual
-// clock, and sustained violations walk the graceful degradation ladder
-// (step-down, renegotiate, migrate, abandon with ErrQoSAbandoned). Pass the
-// zero GuardianConfig for defaults. Errors if already enabled.
+// clock — the query's own WITH QOS network terms when present, the config's
+// relative thresholds otherwise — and sustained violations walk the graceful
+// degradation ladder (step-down, renegotiate, migrate, abandon with
+// ErrQoSAbandoned). Every declared violation and recovery is also persisted
+// to the database's qoe table (see QoEQuery). Pass the zero GuardianConfig
+// for defaults. Errors if already enabled.
 func (db *DB) EnableGuardian(cfg GuardianConfig) error {
 	if db.guardian != nil {
 		return errors.New("quasaq: guardian already enabled")
@@ -631,6 +670,24 @@ func (db *DB) GuardianStats() GuardianStats {
 	}
 	return db.guardian.Stats()
 }
+
+// QoEQuery reads the database's own QoE history — the qoe table the
+// guardian appends a row to on every declared violation and recovery —
+// with the same SQL surface as Search:
+//
+//	SELECT * FROM qoe WHERE metric = 'loss' AND kind = 'violation'
+//	SELECT * FROM qoe WHERE session = 3 AND time >= 40 LIMIT 10
+//
+// Fields: session, video, site, metric, kind, counter, min, max, avg, peak
+// (0/1), time (seconds). Rows come back ordered by (time, session,
+// counter). Time-bounded predicates use the qoe time index.
+func (db *DB) QoEQuery(sql string) ([]QoERecord, error) {
+	recs, _, err := db.cluster.Engine.QoESQL(sql)
+	return recs, err
+}
+
+// QoECount returns the number of rows in the qoe history table.
+func (db *DB) QoECount() int { return db.cluster.Engine.QoECount() }
 
 // EnableTranscodeFarm attaches the elastic transcoding tier: a pool of
 // heterogeneous worker classes converting GOPs just-in-time ahead of each
