@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check tidy-check vet build test shuffle race race-runner race-broker race-guardian race-transcode race-vsa race-qoe fuzz-smoke bench bench-all bench-runner bench-overload bench-transcode bench-saturate bench-sla chaos chaos-parallel trace-demo
+.PHONY: check fmt-check tidy-check vet build test shuffle race race-runner race-broker race-guardian race-transcode race-vsa race-qoe race-edge fuzz-smoke bench bench-all bench-runner bench-overload bench-transcode bench-saturate bench-sla bench-edge chaos chaos-parallel trace-demo
 
 # The full gate: what CI (and a careful human) runs before merging. The
 # race target covers the plan pipeline's atomic counters and cache; the
@@ -58,6 +58,15 @@ race-transcode:
 race-vsa:
 	$(GO) test -race ./internal/vsa/... ./internal/gara/... ./internal/core/...
 
+# Focused race gate for the edge proxy-cache tier: per-site prefix stores
+# under concurrent Observe/Tick, split-plan admission in core, and the
+# public edge API plus golden equivalence in the root package. The
+# experiments leg is scoped to the edge sweep — race-runner already covers
+# the full experiments package.
+race-edge:
+	$(GO) test -race . ./internal/edgecache/... ./internal/core/...
+	$(GO) test -race -run Edge ./internal/experiments/
+
 # Focused race gate for the QoE persistence stack: guardians appending
 # violation history through the vdbms engine into heap+btree storage while
 # readers scan, plus the clause parser both layers share.
@@ -107,6 +116,13 @@ bench-saturate:
 # through the vdbms qoe table, archived as a JSON artifact.
 bench-sla:
 	$(GO) run ./cmd/qsqbench -exp sla -replicas 3 -parallel 6 -bench BENCH_sla.json
+
+# Edge-tier sweep: the same Zipf + diurnal + flash-crowd workload delivered
+# origin-only and through the cooperative edge proxy-cache tier — startup
+# percentiles, hit ratio and origin-link offload, archived as a JSON
+# artifact.
+bench-edge:
+	$(GO) run ./cmd/qsqbench -exp edge -replicas 3 -parallel 6 -bench BENCH_edge.json
 
 chaos:
 	$(GO) run ./cmd/qsqbench -exp chaos

@@ -16,6 +16,7 @@
 //	qsqbench -exp transcode  # farm worker-class mixes: dollars vs p99 startup delay
 //	qsqbench -exp saturate   # admission hot path at 10^5-10^6 sessions: broker vs VSA fast path
 //	qsqbench -exp sla        # clause-strictness tiers: violation rates + QoE percentiles from the qoe table
+//	qsqbench -exp edge       # edge proxy-cache tier vs origin-only: startup tails + origin offload
 //	qsqbench -exp all
 //
 // Every experiment is a grid of hermetic (point × replica) simulation
@@ -87,7 +88,7 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.exp, "exp", "all", "experiment: fig5|table2|fig6|fig7|throughput|ablation|dynamic|overhead|chaos|admission|overload|transcode|saturate|sla|all")
+	flag.StringVar(&o.exp, "exp", "all", "experiment: fig5|table2|fig6|fig7|throughput|ablation|dynamic|overhead|chaos|admission|overload|transcode|saturate|sla|edge|all")
 	flag.Int64Var(&o.seed, "seed", 11, "workload seed (replica 0 runs this seed itself)")
 	flag.IntVar(&o.sweep.Workers, "parallel", 0, "worker pool size for sweep cells (0 = GOMAXPROCS)")
 	flag.IntVar(&o.sweep.Replicas, "replicas", 1, "independently seeded repetitions of every sweep point")
@@ -107,7 +108,7 @@ func main() {
 	flag.IntVar(&o.ctrlRetries, "ctrl-retries", 2, "admission: control RPC retries after the first attempt")
 	flag.Float64Var(&o.ctrlLoss, "ctrl-loss", 0, "admission: control-message loss probability in [0,1)")
 	flag.Float64Var(&o.overloadScale, "overload-scale", 1, "overload: shrink (<1) or stretch (>1) the ramp and fault times")
-	flag.StringVar(&o.benchOut, "bench", "", "overload/transcode/saturate/sla: archive the run as a JSON benchmark record here")
+	flag.StringVar(&o.benchOut, "bench", "", "overload/transcode/saturate/sla/edge: archive the run as a JSON benchmark record here")
 	flag.IntVar(&o.satSessions, "sessions", 100000, "saturate: total session arrivals")
 	flag.IntVar(&o.satLive, "live", 20000, "saturate: sliding-window depth of concurrently live sessions")
 	flag.IntVar(&o.satGoroutines, "goroutines", 8, "saturate: concurrent admission loops in the throughput pass")
@@ -144,7 +145,7 @@ func (o options) throughputCfg() experiments.ThroughputConfig {
 
 func run(o options) error {
 	switch o.exp {
-	case "all", "fig5", "table2", "fig6", "fig7", "throughput", "ablation", "dynamic", "overhead", "chaos", "admission", "overload", "transcode", "saturate", "sla":
+	case "all", "fig5", "table2", "fig6", "fig7", "throughput", "ablation", "dynamic", "overhead", "chaos", "admission", "overload", "transcode", "saturate", "sla", "edge":
 	default:
 		return fmt.Errorf("unknown experiment %q", o.exp)
 	}
@@ -285,6 +286,26 @@ func run(o options) error {
 		if o.benchOut != "" {
 			if err := writeFile(o.benchOut, func(w io.Writer) error {
 				return experiments.WriteSLAJSON(w, cfg, points)
+			}); err != nil {
+				return err
+			}
+			fmt.Println("wrote", o.benchOut)
+		}
+	}
+	if o.exp == "edge" { // not part of -exp all: the flash-crowd drain runs long past the ramp
+		cfg := experiments.DefaultEdgeExpConfig()
+		cfg.Seed = o.seed
+		points, err := experiments.RunEdgeParallel(cfg, o.sweep)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatEdge(cfg, points))
+		if err := saveCSV(o.csvDir, "edge.csv", experiments.EdgeTable(points)); err != nil {
+			return err
+		}
+		if o.benchOut != "" {
+			if err := writeFile(o.benchOut, func(w io.Writer) error {
+				return experiments.WriteEdgeJSON(w, cfg, points)
 			}); err != nil {
 				return err
 			}

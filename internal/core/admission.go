@@ -269,7 +269,8 @@ func excludeSites(plans []*Plan, avoid []string) []*Plan {
 func (m *Manager) viable(plans []*Plan) []*Plan {
 	out := make([]*Plan, 0, len(plans))
 	for _, p := range plans {
-		if m.siteDown(p.DeliverySite) || m.siteDown(p.Replica.Site) {
+		if m.siteDown(p.DeliverySite) || m.siteDown(p.Replica.Site) ||
+			(p.Split() && m.siteDown(p.TailReplica.Site)) {
 			continue
 		}
 		out = append(out, p)
@@ -383,12 +384,14 @@ func (m *Manager) bind(d *Delivery, p *Plan, leases []*gara.Lease, opts ServiceO
 		return err
 	}
 	lease := leases[0]
-	var sourceLease, farmLease *gara.Lease
+	var sourceLease, farmLease, tailLease *gara.Lease
 	for i, st := range p.ReservationStages() {
 		if i == 0 || i >= len(leases) {
 			continue
 		}
 		switch st.Kind {
+		case StageTailDeliver:
+			tailLease = leases[i]
 		case StageSource:
 			sourceLease = leases[i]
 		case StageTranscode:
@@ -398,6 +401,8 @@ func (m *Manager) bind(d *Delivery, p *Plan, leases []*gara.Lease, opts ServiceO
 	d.Plan = p
 	d.sourceLease = sourceLease
 	d.farmLease = farmLease
+	d.tailLease = tailLease
+	d.handedOver = false
 	cfg := transport.Config{
 		Video:            v,
 		Variant:          p.DeliveredVariant,
@@ -421,7 +426,71 @@ func (m *Manager) bind(d *Delivery, p *Plan, leases []*gara.Lease, opts ServiceO
 			cfg.FarmWork = st.Work
 		}
 	}
-	sess, err := transport.StartReserved(m.cluster.Sim, deliveryNode, cfg, lease, func(s *transport.Session) {
+	// Split plans deliver in two legs: the edge prefix streams first and
+	// hands the viewer over to the tail site's full replica at the split
+	// frame. A resume already past the boundary skips the prefix leg and
+	// starts directly on the tail lease, returning the edge one.
+	sessNode, sessLease, streamSite := deliveryNode, lease, p.DeliverySite
+	onDone := m.teardown(d)
+	if p.Split() {
+		if tailLease == nil {
+			release()
+			return fmt.Errorf("core: split plan for %s committed without a tail lease", v.ID)
+		}
+		if opts.StartFrame < p.SplitFrame {
+			cfg.EndFrame = p.SplitFrame
+			onDone = func(*transport.Session) { m.handover(d, opts) }
+		} else {
+			tn, terr := m.cluster.Node(p.TailReplica.Site)
+			if terr != nil {
+				release()
+				return terr
+			}
+			sessNode, sessLease, streamSite = tn, tailLease, p.TailReplica.Site
+			d.tailLease = nil
+			d.handedOver = true
+			lease.Release()
+		}
+	}
+	sess, err := transport.StartReserved(m.cluster.Sim, sessNode, cfg, sessLease, onDone)
+	if err != nil {
+		release()
+		return err
+	}
+	// Failure detection: the delivery lease's revocation fails the session
+	// (wired inside StartReserved); the session's failure, and a relay,
+	// farm, or parked tail lease's revocation, all land in the manager's
+	// recovery path.
+	sess.SetOnFail(func(_ *transport.Session, cause error) { m.onSessionFail(d, cause) })
+	if sourceLease != nil {
+		sourceLease.SetOnRevoke(func(cause error) { m.onSourceFail(d, cause) })
+	}
+	if farmLease != nil {
+		farmLease.SetOnRevoke(func(cause error) { m.onFarmFail(d, cause) })
+	}
+	if d.tailLease != nil {
+		d.tailLease.SetOnRevoke(func(cause error) { m.onTailFail(d, cause) })
+	}
+	if p.Split() {
+		m.met.splitAdmissions.Inc()
+	}
+	m.cluster.sessionStarted()
+	d.Session = sess
+	d.streamSpan = d.trace.Span("stream", map[string]any{
+		"site":  streamSite,
+		"video": v.Title,
+		"fps":   p.Delivered.FrameRate,
+	})
+	if p.Remote() {
+		d.streamSpan.SetArg("source", p.Replica.Site)
+	}
+	return nil
+}
+
+// teardown returns the completion callback ending a delivery: it fires when
+// the only (or, for a split plan, the final) leg finishes streaming.
+func (m *Manager) teardown(d *Delivery) func(*transport.Session) {
+	return func(s *transport.Session) {
 		// A resume at the video's end finishes synchronously inside
 		// StartReserved, before bind assigns d.Session — publish the
 		// session first so OnDone never sees a nil one.
@@ -439,35 +508,69 @@ func (m *Manager) bind(d *Delivery, p *Plan, leases []*gara.Lease, opts ServiceO
 			d.farmLease.Release()
 			d.farmLease = nil
 		}
+		if d.tailLease != nil {
+			d.tailLease.Release()
+			d.tailLease = nil
+		}
 		if d.opts.OnDone != nil {
 			d.opts.OnDone(d)
 		}
-	})
-	if err != nil {
-		release()
-		return err
 	}
-	// Failure detection: the delivery lease's revocation fails the session
-	// (wired inside StartReserved); the session's failure, and a relay
-	// lease's revocation, both land in the manager's recovery path.
-	sess.SetOnFail(func(_ *transport.Session, cause error) { m.onSessionFail(d, cause) })
-	if sourceLease != nil {
-		sourceLease.SetOnRevoke(func(cause error) { m.onSourceFail(d, cause) })
+}
+
+// handover continues a split delivery on its tail leg: the prefix leg just
+// drained at the edge (its own lease was released by the session's finish),
+// and the video resumes at the split frame from the tail site's full
+// replica, on the lease reserved at admission. The logical delivery
+// continues — no extra sessionStarted/Ended pair. A handover that cannot
+// start is a mid-stream failure at the boundary and takes the normal
+// recovery path.
+func (m *Manager) handover(d *Delivery, opts ServiceOptions) {
+	p := d.Plan
+	tl := d.tailLease
+	if tl == nil {
+		// The tail lease was revoked while the prefix streamed; onTailFail
+		// already failed the session and recovery owns the delivery.
+		return
 	}
-	if farmLease != nil {
-		farmLease.SetOnRevoke(func(cause error) { m.onFarmFail(d, cause) })
+	node, err := m.cluster.Node(p.TailReplica.Site)
+	if err == nil {
+		cfg := transport.Config{
+			Video:            d.video,
+			Variant:          p.DeliveredVariant,
+			Drop:             p.Drop,
+			ExtraPerFrameCPU: p.ExtraPerFrameCPU,
+			TraceFrames:      opts.TraceFrames,
+			Path:             opts.Path,
+			PathSeed:         opts.PathSeed,
+			StartFrame:       p.SplitFrame,
+			Trace:            d.trace,
+		}
+		var sess *transport.Session
+		sess, err = transport.StartReserved(m.cluster.Sim, node, cfg, tl, m.teardown(d))
+		if err == nil {
+			d.tailLease = nil // owned by the tail session now
+			d.handedOver = true
+			m.met.handovers.Inc()
+			sess.SetOnFail(func(_ *transport.Session, cause error) { m.onSessionFail(d, cause) })
+			d.Session = sess
+			d.streamSpan.SetArg("outcome", "handover")
+			d.streamSpan.End()
+			d.trace.Instant("handover", map[string]any{
+				"to": p.TailReplica.Site, "frame": p.SplitFrame,
+			})
+			d.streamSpan = d.trace.Span("stream", map[string]any{
+				"site":  p.TailReplica.Site,
+				"video": d.video.Title,
+				"fps":   p.Delivered.FrameRate,
+				"leg":   "tail",
+			})
+			return
+		}
 	}
-	m.cluster.sessionStarted()
-	d.Session = sess
-	d.streamSpan = d.trace.Span("stream", map[string]any{
-		"site":  p.DeliverySite,
-		"video": v.Title,
-		"fps":   p.Delivered.FrameRate,
-	})
-	if p.Remote() {
-		d.streamSpan.SetArg("source", p.Replica.Site)
-	}
-	return nil
+	d.tailLease = nil
+	tl.Release()
+	m.onSessionFail(d, err)
 }
 
 // Renegotiate services the delivery's video again under a new requirement,

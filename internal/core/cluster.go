@@ -55,6 +55,7 @@ type Cluster struct {
 	fast map[string]*vsa.Accumulator
 
 	siteNames []string
+	edgeSites []string   // edge proxy sites, configuration order (EnableEdgeTier)
 	mActive   *obs.Gauge // live streaming sessions (deliveries, not leases)
 	mStarted  *obs.Counter
 	mEnded    *obs.Counter
@@ -170,6 +171,64 @@ func (c *Cluster) EnableFarm(cfg transcode.FarmConfig) (*transcode.Farm, error) 
 	c.Farm = farm
 	return farm, nil
 }
+
+// EdgeSite describes one proxy-cache site of the edge tier.
+type EdgeSite struct {
+	Name string
+	// Capacity is the edge node's resource envelope; the zero value uses
+	// gara.DefaultCapacity().
+	Capacity gara.NodeCapacity
+	// DiskBytes bounds the site's blob store (0 = unbounded; the prefix
+	// cache's own byte budget is configured on the edgecache manager).
+	DiskBytes int64
+}
+
+// EnableEdgeTier provisions the edge proxy-cache sites: each gets a gara
+// node, a broker of its own (so edge legs participate in two-phase
+// reservations like any site), an empty blob store, and a metadata store
+// registered with the directory under TierEdge. Edge sites do not join
+// siteNames: LoadCorpus never places authoritative replicas there, Sites()
+// keeps returning the origin tier only, and with the edge tier never
+// enabled every code path is byte-identical to the flat cluster.
+func (c *Cluster) EnableEdgeTier(sites []EdgeSite) error {
+	if len(sites) == 0 {
+		return fmt.Errorf("core: no edge sites")
+	}
+	if len(c.edgeSites) > 0 {
+		return fmt.Errorf("core: edge tier already enabled")
+	}
+	for _, es := range sites {
+		if _, taken := c.Nodes[es.Name]; taken {
+			return fmt.Errorf("core: edge site %q collides with an existing site", es.Name)
+		}
+	}
+	for _, es := range sites {
+		cap := es.Capacity
+		if cap == (gara.NodeCapacity{}) {
+			cap = gara.DefaultCapacity()
+		}
+		n := gara.NewNode(c.Sim, es.Name, cap)
+		n.Instrument(c.Obs)
+		c.Nodes[es.Name] = n
+		c.Blobs[es.Name] = storage.NewBlobStore(es.DiskBytes)
+		b := broker.New(c.Sim, n, c.Obs)
+		c.Brokers[es.Name] = b
+		c.Ctrl.Register(es.Name, b.Handle)
+		if c.fast != nil {
+			c.fast[es.Name] = vsa.NewAccumulator(n.Capacity(), 0)
+		}
+		if err := c.Dir.AddStore(metadata.NewStore(es.Name)); err != nil {
+			return err
+		}
+		c.Dir.SetTier(es.Name, metadata.TierEdge)
+		c.edgeSites = append(c.edgeSites, es.Name)
+	}
+	return nil
+}
+
+// EdgeSites returns the names of the enabled edge proxy sites in
+// configuration order (empty without an edge tier).
+func (c *Cluster) EdgeSites() []string { return append([]string(nil), c.edgeSites...) }
 
 // TestbedCluster builds the paper's three-server deployment (§5).
 func TestbedCluster(sim *simtime.Simulator) *Cluster {

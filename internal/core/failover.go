@@ -102,6 +102,17 @@ func (m *Manager) onFarmFail(d *Delivery, cause error) {
 	}
 }
 
+// onTailFail handles revocation of a split plan's parked tail-leg lease
+// while the prefix leg still streams: the second half of the video can no
+// longer be served, so the delivery fails now — a recovery from the current
+// position beats a guaranteed stall at the split boundary.
+func (m *Manager) onTailFail(d *Delivery, cause error) {
+	d.tailLease = nil // already reclaimed by the revocation
+	if d.Session != nil {
+		d.Session.Fail(cause)
+	}
+}
+
 // onSessionFail is the failure-detection entry point: an admitted session
 // died mid-stream. Without failover the delivery is abandoned immediately;
 // with it, recovery is scheduled after the detector's lag.
@@ -115,9 +126,16 @@ func (m *Manager) onSessionFail(d *Delivery, cause error) {
 		d.farmLease.Release()
 		d.farmLease = nil
 	}
+	if d.tailLease != nil {
+		d.tailLease.Release()
+		d.tailLease = nil
+	}
 	m.met.sessionFailures.Inc()
 	d.failedAt = m.cluster.Sim.Now()
 	d.failedFrom = d.Plan.DeliverySite
+	if d.handedOver && d.Plan.Split() {
+		d.failedFrom = d.Plan.TailReplica.Site
+	}
 	d.resumeFrom = d.Session.Position()
 	d.fpsAtFail = d.Plan.Delivered.FrameRate
 	d.failCause = cause
@@ -229,7 +247,9 @@ func (m *Manager) concludeFailover(d *Delivery, attempt int, lastErr error) {
 // viewer moving with no QoS guarantee. Reports whether it succeeded.
 func (m *Manager) bestEffortFallback(d *Delivery, attempt int) bool {
 	for _, rep := range m.cluster.Dir.Lookup(d.querySite, d.video.ID) {
-		if m.siteDown(rep.Site) {
+		// A prefix replica cannot stream the tail of the video; only full
+		// copies qualify for the unreserved fallback.
+		if !rep.Full() || m.siteDown(rep.Site) {
 			continue
 		}
 		node, err := m.cluster.Node(rep.Site)

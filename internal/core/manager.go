@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"quasaq/internal/broker"
+	"quasaq/internal/edgecache"
 	"quasaq/internal/gara"
 	"quasaq/internal/media"
 	"quasaq/internal/obs"
@@ -62,6 +63,8 @@ type Delivery struct {
 	mgr         *Manager
 	sourceLease *gara.Lease
 	farmLease   *gara.Lease // farm-tier transcode stage, offloaded plans only
+	tailLease   *gara.Lease // split plans: the tail leg's lease, held until handover
+	handedOver  bool        // split plans: the tail leg is (or was) the live session
 	video       *media.Video
 	req         qos.Requirement
 	querySite   string
@@ -167,6 +170,10 @@ func (d *Delivery) Cancel() {
 		d.farmLease.Release()
 		d.farmLease = nil
 	}
+	if d.tailLease != nil {
+		d.tailLease.Release()
+		d.tailLease = nil
+	}
 }
 
 // ManagerStats counts quality-manager outcomes for the throughput figures
@@ -183,6 +190,11 @@ type ManagerStats struct {
 	PlansGenerated   uint64
 	PlansTried       uint64
 	Renegotiations   uint64
+
+	// Split-plan counters: admissions that bound a two-leg edge plan, and
+	// mid-stream source handovers from the prefix leg to the tail leg.
+	SplitAdmissions uint64
+	Handovers       uint64
 
 	// Failure/failover counters.
 	SessionFailures     uint64 // sessions lost to faults mid-stream
@@ -211,6 +223,8 @@ func (s *ManagerStats) Merge(o ManagerStats) {
 	s.PlansGenerated += o.PlansGenerated
 	s.PlansTried += o.PlansTried
 	s.Renegotiations += o.Renegotiations
+	s.SplitAdmissions += o.SplitAdmissions
+	s.Handovers += o.Handovers
 	s.SessionFailures += o.SessionFailures
 	s.FailoverAttempts += o.FailoverAttempts
 	s.Failovers += o.Failovers
@@ -234,6 +248,8 @@ type managerMetrics struct {
 	plansGenerated      *obs.Counter
 	plansTried          *obs.Counter
 	renegotiations      *obs.Counter
+	splitAdmissions     *obs.Counter
+	handovers           *obs.Counter
 	sessionFailures     *obs.Counter
 	failoverAttempts    *obs.Counter
 	failovers           *obs.Counter
@@ -260,6 +276,8 @@ func newManagerMetrics(reg *obs.Registry) managerMetrics {
 		plansGenerated:      reg.Counter("quasaq_plans_generated_total"),
 		plansTried:          reg.Counter("quasaq_plans_tried_total"),
 		renegotiations:      reg.Counter("quasaq_renegotiations_total"),
+		splitAdmissions:     reg.Counter("quasaq_split_admissions_total"),
+		handovers:           reg.Counter("quasaq_handovers_total"),
 		sessionFailures:     reg.Counter("quasaq_session_failures_total"),
 		failoverAttempts:    reg.Counter("quasaq_failover_attempts_total"),
 		failovers:           reg.Counter("quasaq_failovers_total"),
@@ -305,6 +323,9 @@ type Manager struct {
 	// plans stream their GOPs through it, and a non-neutral farm makes the
 	// generator emit farm-offloaded stage candidates.
 	farm *transcode.Farm
+
+	// edge is the cooperative prefix-cache tier (nil until EnableEdgeTier).
+	edge *edgecache.Manager
 }
 
 // NewManager wires a quality manager to a cluster with a cost model.
@@ -364,6 +385,41 @@ func (m *Manager) EnableFarm(cfg transcode.FarmConfig) (*transcode.Farm, error) 
 // Farm returns the attached transcoding tier (nil when disabled).
 func (m *Manager) Farm() *transcode.Farm { return m.farm }
 
+// EnableEdgeTier provisions the edge proxy-cache sites on the cluster and
+// attaches the cooperative prefix-cache manager: popular video prefixes are
+// installed at the edges on the cache's clock, the plan generator starts
+// emitting edge and split (prefix-from-edge, tail-from-origin) candidates
+// as the prefixes appear, and sustained popularity is promoted toward full
+// replicas. Call after LoadCorpus and before serving queries — provisioning
+// re-keys the candidate cache. One edge tier per manager.
+func (m *Manager) EnableEdgeTier(sites []EdgeSite, cfg edgecache.Config) (*edgecache.Manager, error) {
+	if m.edge != nil {
+		return nil, fmt.Errorf("core: edge tier already enabled")
+	}
+	if err := m.cluster.EnableEdgeTier(sites); err != nil {
+		return nil, err
+	}
+	ec := edgecache.New(m.cluster.Sim, m.cluster.Dir, m.cluster.Engine.All(), m.cluster.Obs, cfg)
+	for _, name := range m.cluster.EdgeSites() {
+		st, err := m.cluster.Dir.Store(name)
+		if err != nil {
+			return nil, err
+		}
+		ec.AddSite(name, m.cluster.Blobs[name], st)
+		// Edge liveness transitions stale the candidate cache like any
+		// origin node's.
+		m.cluster.Nodes[name].Watch(func(gara.NodeEvent) { m.cache.BumpLiveness() })
+	}
+	ec.Start()
+	m.edge = ec
+	m.cache.BumpLiveness()
+	return ec, nil
+}
+
+// EdgeCache returns the attached edge prefix-cache manager (nil when the
+// edge tier is disabled).
+func (m *Manager) EdgeCache() *edgecache.Manager { return m.edge }
+
 // Stats returns a typed view over the metrics registry's quality-manager
 // series — the same numbers WriteJSON/WriteCSV export.
 func (m *Manager) Stats() ManagerStats {
@@ -377,6 +433,8 @@ func (m *Manager) Stats() ManagerStats {
 		PlansGenerated:       m.met.plansGenerated.Value(),
 		PlansTried:           m.met.plansTried.Value(),
 		Renegotiations:       m.met.renegotiations.Value(),
+		SplitAdmissions:      m.met.splitAdmissions.Value(),
+		Handovers:            m.met.handovers.Value(),
 		SessionFailures:      m.met.sessionFailures.Value(),
 		FailoverAttempts:     m.met.failoverAttempts.Value(),
 		Failovers:            m.met.failovers.Value(),

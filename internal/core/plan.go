@@ -51,6 +51,17 @@ type Plan struct {
 	// replica and outbound bandwidth to relay it to the delivery site.
 	SourceDemand qos.ResourceVector
 
+	// TailReplica, on a split plan, is the full replica that streams the
+	// remainder of the video after the edge prefix drains; nil on ordinary
+	// plans. Replica is then the prefix copy and DeliverySite its edge site.
+	TailReplica *metadata.Replica
+	// SplitFrame is the GOP-aligned frame where a split plan hands the
+	// stream over from the prefix leg to the tail leg.
+	SplitFrame int
+	// TailDemand is the resource vector reserved at the tail replica's
+	// site for the second delivery leg of a split plan.
+	TailDemand qos.ResourceVector
+
 	// Stages is the plan's execution DAG in pipeline order (source-read →
 	// transcode → deliver), each stage carrying its own demand vector and
 	// site binding with DependsOn precedence edges. DeliveryDemand and
@@ -61,6 +72,10 @@ type Plan struct {
 
 // Remote reports whether the plan relays the replica between sites.
 func (p *Plan) Remote() bool { return p.Replica.Site != p.DeliverySite }
+
+// Split reports whether the plan delivers in two legs: prefix from an
+// edge cache, tail from a full replica after the handover boundary.
+func (p *Plan) Split() bool { return p.TailReplica != nil }
 
 // PricedNetQoS prices the plan's nominal network vector for clause-gated
 // admission: the ideal inter-frame delay implied by the delivered
@@ -84,6 +99,9 @@ func (p *Plan) String() string {
 	fmt.Fprintf(&b, "retrieve %s (%s)", p.Replica.ID(), p.Replica.Variant.Quality)
 	if p.Remote() {
 		fmt.Fprintf(&b, " -> transfer to %s", p.DeliverySite)
+	}
+	if p.Split() {
+		fmt.Fprintf(&b, " -> handover to %s at frame %d", p.TailReplica.ID(), p.SplitFrame)
 	}
 	if p.Transcode != nil {
 		fmt.Fprintf(&b, " -> transcode to %s", *p.Transcode)
@@ -167,7 +185,44 @@ func (g *Generator) Stats() (generated, pruned uint64) {
 func (g *Generator) Generate(querySite string, v *media.Video, req qos.Requirement, yield func(*Plan) bool) {
 	replicas := g.dir.Lookup(querySite, v.ID)
 	sites := g.dir.Sites()
-	for _, rep := range replicas { // set A1
+	// Edge proxy sites never relay other sites' replicas: they are
+	// delivery candidates only for copies they hold themselves. With no
+	// edge tier every site is origin and this set is exactly dir.Sites().
+	edge := make(map[string]bool)
+	for _, s := range sites {
+		if g.dir.Tier(s) == metadata.TierEdge {
+			edge[s] = true
+		}
+	}
+	// Edge-held replicas enumerate first — split plans off prefix copies,
+	// then full promoted copies — because an edge plan and the origin plan
+	// it shadows often price identically under Eq. 1 (same demand vectors
+	// against equally filled buckets) and the ranked models sort stably:
+	// putting the edge candidates first breaks equal-cost ties toward edge
+	// delivery, which is the point of the tier (startup latency,
+	// origin-link offload). With no edge tier both early passes are empty
+	// and the enumeration order is exactly the pre-tier one.
+	for _, rep := range replicas {
+		// A prefix replica cannot answer a query alone: it anchors split
+		// plans pairing the edge prefix with a full tail replica instead.
+		if !rep.Full() {
+			if !g.splitPlans(v, rep, replicas, req, yield) {
+				return
+			}
+		}
+	}
+	full := make([]*metadata.Replica, 0, len(replicas))
+	for _, rep := range replicas {
+		if rep.Full() && edge[rep.Site] {
+			full = append(full, rep)
+		}
+	}
+	for _, rep := range replicas {
+		if rep.Full() && !edge[rep.Site] {
+			full = append(full, rep)
+		}
+	}
+	for _, rep := range full { // set A1
 		// Rule: a replica below the required minimum resolution can never
 		// satisfy the query — transcoding cannot upscale (§3.4).
 		if req.MinResolution.W > 0 && !rep.Variant.Quality.Resolution.AtLeast(req.MinResolution) {
@@ -176,7 +231,16 @@ func (g *Generator) Generate(querySite string, v *media.Video, req qos.Requireme
 		}
 		deliverySites := []string{rep.Site}
 		if g.cfg.AllowRemote {
-			deliverySites = sites
+			if len(edge) == 0 {
+				deliverySites = sites
+			} else {
+				deliverySites = deliverySites[:0]
+				for _, s := range sites {
+					if !edge[s] || s == rep.Site {
+						deliverySites = append(deliverySites, s)
+					}
+				}
+			}
 		}
 		targets := g.transcodeTargets(rep, req)
 		for _, site := range deliverySites { // set A2
@@ -218,6 +282,54 @@ func (g *Generator) GenerateAll(querySite string, v *media.Video, req qos.Requir
 		return true
 	})
 	return plans
+}
+
+// splitPlans enumerates the two-leg plans a prefix replica anchors: the
+// prefix streams from its edge site while a same-quality full replica at
+// another site stands by to stream the tail from the GOP-aligned handover
+// boundary onward. Both legs are priced and reserved; transcoding is
+// excluded (the legs must deliver the same coded variant for a seamless
+// handover) while dropping and encryption apply to both legs alike. It
+// returns false when yield stopped the enumeration.
+func (g *Generator) splitPlans(v *media.Video, prefix *metadata.Replica, replicas []*metadata.Replica,
+	req qos.Requirement, yield func(*Plan) bool) bool {
+
+	if req.MinResolution.W > 0 && !prefix.Variant.Quality.Resolution.AtLeast(req.MinResolution) {
+		g.pruned.Add(1)
+		return true
+	}
+	split := prefix.PrefixFrames(v)
+	if split <= 0 || split >= v.Frames() {
+		g.pruned.Add(1)
+		return true
+	}
+	for _, tail := range replicas {
+		if !tail.Full() || tail.Site == prefix.Site || tail.Variant.Quality != prefix.Variant.Quality {
+			continue
+		}
+		for _, drop := range g.cfg.Drops { // set A3
+			for _, enc := range g.encryptionChoices(req) { // set A5
+				p := g.build(v, prefix, prefix.Site, prefix.Variant.Quality, nil, drop, enc, false)
+				if p == nil || !req.SatisfiedBy(p.Delivered) {
+					g.pruned.Add(1)
+					continue
+				}
+				p.TailReplica = tail
+				p.SplitFrame = split
+				p.TailDemand = p.DeliveryDemand
+				p.TailDemand[qos.ResDiskBandwidth] = tail.Variant.Bitrate
+				p.Stages = append(p.Stages, Stage{
+					Kind: StageTailDeliver, Site: tail.Site, Suffix: "-tail",
+					Vec: p.TailDemand, DependsOn: []int{len(p.Stages) - 1},
+				})
+				g.generated.Add(1)
+				if !yield(p) {
+					return false
+				}
+			}
+		}
+	}
+	return true
 }
 
 // transcodeTargets returns nil (no transcode) plus each ladder quality the

@@ -15,6 +15,10 @@ const (
 	StageSource StageKind = iota
 	StageTranscode
 	StageDeliver
+	// StageTailDeliver is the second delivery leg of a split plan: after
+	// the edge prefix drains, the session hands over to this stage's site,
+	// which streams the tail of the video from its full replica.
+	StageTailDeliver
 )
 
 // String names the stage kind.
@@ -26,6 +30,8 @@ func (k StageKind) String() string {
 		return "transcode"
 	case StageDeliver:
 		return "deliver"
+	case StageTailDeliver:
+		return "tail-deliver"
 	default:
 		return "unknown"
 	}
@@ -81,9 +87,11 @@ func (p *Plan) TranscodeStage() *Stage {
 
 // reservationOrder fixes the order stages are reserved in: the delivery
 // site first (the scarcest decision — matching the pre-DAG atomic path
-// byte-for-byte), then the source relay, then the farm. The coordinator
-// PREPAREs sequentially in this order.
-var reservationOrder = [...]StageKind{StageDeliver, StageSource, StageTranscode}
+// byte-for-byte), then the split plan's tail leg, then the source relay,
+// then the farm. Edge-less plans never carry a tail stage, so their
+// reservation sequence is unchanged. The coordinator PREPAREs sequentially
+// in this order.
+var reservationOrder = [...]StageKind{StageDeliver, StageTailDeliver, StageSource, StageTranscode}
 
 // ReservationStages returns the stages that hold resources, in reservation
 // order. Stages with a zero demand vector are skipped — an inline

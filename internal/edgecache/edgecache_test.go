@@ -1,0 +1,300 @@
+package edgecache
+
+import (
+	"sync"
+	"testing"
+
+	"quasaq/internal/media"
+	"quasaq/internal/metadata"
+	"quasaq/internal/obs"
+	"quasaq/internal/replication"
+	"quasaq/internal/simtime"
+	"quasaq/internal/storage"
+)
+
+// testWorld builds a directory with one origin site holding a full
+// high-bitrate replica of every corpus video, plus two empty edge sites
+// registered with the cache manager.
+func testWorld(t *testing.T, cfg Config) (*metadata.Directory, *Manager, []*media.Video) {
+	t.Helper()
+	sim := simtime.NewSimulator()
+	dir := metadata.NewDirectory()
+	videos := media.StandardCorpus(42)
+	origin := metadata.NewStore("origin")
+	if err := dir.AddStore(origin); err != nil {
+		t.Fatal(err)
+	}
+	blobs := storage.NewBlobStore(0)
+	for _, v := range videos {
+		va := media.NewVariant(media.LadderQuality(media.LinkLAN, v.FrameRate))
+		blob, err := blobs.Create(va.SizeBytes(v), v.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := origin.Add(&metadata.Replica{
+			Video: v.ID, Site: "origin", Variant: va, Blob: blob.ID,
+			Profile: replication.SampleProfile(v, va),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := New(sim, dir, videos, obs.NewRegistry(), cfg)
+	for _, name := range []string{"edge-a", "edge-b"} {
+		st := metadata.NewStore(name)
+		if err := dir.AddStore(st); err != nil {
+			t.Fatal(err)
+		}
+		dir.SetTier(name, metadata.TierEdge)
+		m.AddSite(name, storage.NewBlobStore(0), st)
+	}
+	m.MapClient("client-a", "edge-a")
+	m.MapClient("client-b", "edge-b")
+	return dir, m, videos
+}
+
+// onePrefixBytes returns the byte size of video v's prefix at the cache's
+// configured GOP count, copied from the origin's full replica variant.
+func onePrefixBytes(t *testing.T, m *Manager, dir *metadata.Directory, v *media.Video) int64 {
+	t.Helper()
+	rep, ok := m.sourceReplica("edge-a", v.ID)
+	if !ok {
+		t.Fatalf("no full replica for %s", v.ID)
+	}
+	return prefixBytes(v, rep.Variant, m.cfg.PrefixGOPs)
+}
+
+// TestInstallBumpsEpochOnce pins the plan-cache invalidation contract: one
+// prefix install is exactly one topology-epoch bump, and a tick that
+// installs nothing bumps nothing.
+func TestInstallBumpsEpochOnce(t *testing.T) {
+	dir, m, videos := testWorld(t, Config{MinHits: 1, PrefixGOPs: 2})
+	before := dir.Epoch()
+	m.Tick() // nothing observed yet
+	if got := dir.Epoch(); got != before {
+		t.Fatalf("idle tick bumped epoch: %d -> %d", before, got)
+	}
+	m.Observe("client-a", videos[0].ID)
+	before = dir.Epoch()
+	m.Tick()
+	if got := dir.Epoch(); got != before+1 {
+		t.Fatalf("one install bumped epoch by %d, want 1", got-before)
+	}
+	if !m.Holds("edge-a", videos[0].ID) {
+		t.Fatal("prefix not resident after install")
+	}
+	if s := m.Stats(); s.Installs != 1 || s.Prefixes != 1 {
+		t.Fatalf("stats after install: %+v", s)
+	}
+	// A tick with nothing new leaves the epoch alone again.
+	before = dir.Epoch()
+	m.Tick()
+	if got := dir.Epoch(); got != before {
+		t.Fatalf("steady-state tick bumped epoch: %d -> %d", before, got)
+	}
+}
+
+// TestEvictionBumpsEpochOncePerTransition forces budget pressure so a hotter
+// video displaces a colder resident: the tick performs exactly one eviction
+// and one install — two epoch bumps, one per replica transition.
+func TestEvictionBumpsEpochOncePerTransition(t *testing.T) {
+	probeDir, probe, videos := testWorld(t, Config{MinHits: 1, PrefixGOPs: 2})
+	// Budget sized to the corpus's largest prefix: with that video resident,
+	// any other prefix fits the budget but not alongside it — guaranteeing
+	// displacement rather than admission refusal.
+	big, bigBytes := videos[0], int64(0)
+	for _, v := range videos {
+		if b := onePrefixBytes(t, probe, probeDir, v); b > bigBytes {
+			big, bigBytes = v, b
+		}
+	}
+	var small *media.Video
+	for _, v := range videos {
+		if v != big {
+			small = v
+			break
+		}
+	}
+	dir, m, _ := testWorld(t, Config{MinHits: 1, PrefixGOPs: 2, ByteBudget: bigBytes})
+
+	m.Observe("client-a", big.ID)
+	m.Tick()
+	if !m.Holds("edge-a", big.ID) {
+		t.Fatal("first prefix not installed")
+	}
+	// The resident's hot count decays to zero across ticks; a strictly
+	// hotter candidate then claims the space.
+	m.Tick()
+	m.Observe("client-a", small.ID)
+	m.Observe("client-a", small.ID)
+	before := dir.Epoch()
+	m.Tick()
+	if got := dir.Epoch(); got != before+2 {
+		t.Fatalf("evict+install bumped epoch by %d, want 2", got-before)
+	}
+	if m.Holds("edge-a", big.ID) {
+		t.Fatal("evicted prefix still resident")
+	}
+	if !m.Holds("edge-a", small.ID) {
+		t.Fatal("hotter prefix not installed")
+	}
+	st, err := dir.Store("edge-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(st.Local(big.ID)); got != 0 {
+		t.Fatalf("evicted video still has %d replicas in the edge store", got)
+	}
+	if s := m.Stats(); s.Evictions != 1 || s.Installs != 2 || s.Prefixes != 1 {
+		t.Fatalf("stats after churn: %+v", s)
+	}
+}
+
+// TestBudgetNeverExceededUnderChurn drives a rotating popularity pattern
+// through a cache that fits only a couple of prefixes and checks the
+// invariants after every tick: per-site bytes within budget, blob-store
+// usage in lockstep with the accounting, and residency (Holds, the
+// neighbor-lookup primitive) always matching the metadata store.
+func TestBudgetNeverExceededUnderChurn(t *testing.T) {
+	probeDir, probe, videos := testWorld(t, Config{MinHits: 1, PrefixGOPs: 2})
+	budget := 2 * onePrefixBytes(t, probe, probeDir, videos[0])
+	_, m, videos := testWorld(t, Config{MinHits: 1, PrefixGOPs: 2, ByteBudget: budget})
+
+	clients := []string{"client-a", "client-b"}
+	for round := 0; round < 60; round++ {
+		// Rotate which videos are hot so installs and evictions keep
+		// happening; the mix differs per home edge.
+		for burst := 0; burst < 3; burst++ {
+			v := videos[(round*5+burst*3)%len(videos)]
+			m.Observe(clients[round%2], v.ID)
+			m.Observe(clients[round%2], v.ID)
+		}
+		m.Tick()
+		for _, sc := range m.sites {
+			if sc.used > m.cfg.ByteBudget {
+				t.Fatalf("round %d: site %s uses %d bytes over budget %d",
+					round, sc.name, sc.used, m.cfg.ByteBudget)
+			}
+			if got := sc.blobs.Used(); got != sc.used {
+				t.Fatalf("round %d: site %s accounting %d != blob store %d",
+					round, sc.name, sc.used, got)
+			}
+			if int(sc.blobs.Count()) != len(sc.entries) {
+				t.Fatalf("round %d: site %s has %d blobs for %d entries",
+					round, sc.name, sc.blobs.Count(), len(sc.entries))
+			}
+			for _, v := range videos {
+				_, resident := sc.entries[v.ID]
+				if resident != (len(sc.store.Local(v.ID)) > 0) {
+					t.Fatalf("round %d: site %s residency for %s disagrees with metadata store",
+						round, sc.name, v.ID)
+				}
+				if resident != m.Holds(sc.name, v.ID) {
+					t.Fatalf("round %d: Holds(%s, %s) disagrees with entries",
+						round, sc.name, v.ID)
+				}
+			}
+		}
+	}
+	if s := m.Stats(); s.Evictions == 0 {
+		t.Fatalf("churn workload produced no evictions: %+v", s)
+	}
+}
+
+// TestConcurrentObserveTickHolds exercises the public surface from many
+// goroutines at once; run under -race (the race-edge gate) this pins the
+// lock discipline.
+func TestConcurrentObserveTickHolds(t *testing.T) {
+	_, m, videos := testWorld(t, Config{MinHits: 1, PrefixGOPs: 2})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := []string{"client-a", "client-b"}[g%2]
+			for i := 0; i < 200; i++ {
+				v := videos[(g*31+i)%len(videos)]
+				m.Observe(client, v.ID)
+				m.Holds("edge-a", v.ID)
+				if i%16 == 0 {
+					m.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			m.Tick()
+		}
+	}()
+	wg.Wait()
+	// Goroutine scheduling may drain the tick loop before the observers
+	// accrue demand; one more tick settles the admissions deterministically.
+	m.Tick()
+	if s := m.Stats(); s.Installs == 0 {
+		t.Fatalf("concurrent workload installed nothing: %+v", s)
+	}
+}
+
+// TestPromotionInPlace: a prefix whose cumulative popularity crosses
+// PromoteHits is upgraded to a full edge replica when the budget allows —
+// one epoch bump for the swap, and the planner sees a full copy.
+func TestPromotionInPlace(t *testing.T) {
+	dir, m, videos := testWorld(t, Config{MinHits: 1, PrefixGOPs: 2, PromoteHits: 3})
+	m.Observe("client-a", videos[0].ID)
+	m.Tick() // install, life=1
+	m.Observe("client-a", videos[0].ID)
+	m.Observe("client-a", videos[0].ID)
+	before := dir.Epoch()
+	m.Tick() // life=3 crosses the threshold
+	if got := dir.Epoch(); got != before+1 {
+		t.Fatalf("in-place promotion bumped epoch by %d, want 1", got-before)
+	}
+	s := m.Stats()
+	if s.Promotions != 1 || s.FullReplicas != 1 || s.Prefixes != 0 {
+		t.Fatalf("stats after promotion: %+v", s)
+	}
+	st, err := dir.Store("edge-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := st.Local(videos[0].ID)
+	if len(reps) != 1 || !reps[0].Full() {
+		t.Fatalf("edge store after promotion holds %v", reps)
+	}
+}
+
+// TestPromotionOverflowFeedsReplicator: when the full copy does not fit the
+// edge budget, the sustained demand is handed to the promote sink instead —
+// the bridge into replication.Dynamic.
+func TestPromotionOverflowFeedsReplicator(t *testing.T) {
+	probeDir, probe, videos := testWorld(t, Config{MinHits: 1, PrefixGOPs: 2})
+	one := onePrefixBytes(t, probe, probeDir, videos[0])
+	_, m, videos := testWorld(t, Config{MinHits: 1, PrefixGOPs: 2, PromoteHits: 2, ByteBudget: one})
+
+	var promoted []media.VideoID
+	m.SetPromote(func(id media.VideoID, _ media.LinkClass, n int) {
+		if n <= 0 {
+			t.Fatalf("promote with non-positive demand %d", n)
+		}
+		promoted = append(promoted, id)
+	})
+	m.Observe("client-a", videos[0].ID)
+	m.Tick()
+	m.Observe("client-a", videos[0].ID)
+	m.Observe("client-a", videos[0].ID)
+	m.Tick()
+	if len(promoted) != 1 || promoted[0] != videos[0].ID {
+		t.Fatalf("promote sink saw %v, want [%s]", promoted, videos[0].ID)
+	}
+	// The prefix stays resident (still serving startups) and is not
+	// re-promoted every tick: life was reset.
+	if !m.Holds("edge-a", videos[0].ID) {
+		t.Fatal("prefix dropped on overflow promotion")
+	}
+	m.Tick()
+	if len(promoted) != 1 {
+		t.Fatalf("promotion re-fed every tick: %v", promoted)
+	}
+}

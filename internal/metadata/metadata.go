@@ -21,6 +21,26 @@ import (
 	"quasaq/internal/storage"
 )
 
+// Tier classifies a site's role in the tiered topology: origin sites hold
+// authoritative full replicas; edge proxy sites hold popularity-driven
+// prefix caches near the clients.
+type Tier int
+
+const (
+	// TierOrigin is the default tier: authoritative full-replica servers.
+	TierOrigin Tier = iota
+	// TierEdge marks a proxy-cache site holding prefix replicas.
+	TierEdge
+)
+
+// String renders the tier name.
+func (t Tier) String() string {
+	if t == TierEdge {
+		return "edge"
+	}
+	return "origin"
+}
+
 // Replica is one physical copy of a video: the unit the plan generator
 // chooses among (elements of set A1 in Figure 2).
 type Replica struct {
@@ -33,6 +53,28 @@ type Replica struct {
 	// plain delivery of this replica consumes, measured offline by the QoS
 	// sampler and used for cost estimation.
 	Profile qos.ResourceVector
+	// PrefixGOPs is the number of leading GOPs this copy actually holds.
+	// Zero means the copy is complete — a full replica is the degenerate
+	// case of a prefix covering the whole video. A positive value marks a
+	// partial (prefix) replica, servable only up to that GOP boundary.
+	PrefixGOPs int
+}
+
+// Full reports whether the replica covers the entire video.
+func (r *Replica) Full() bool { return r.PrefixGOPs == 0 }
+
+// PrefixFrames returns the number of leading frames the replica holds, or
+// the whole video's frame count for a full replica.
+func (r *Replica) PrefixFrames(v *media.Video) int {
+	total := v.Frames()
+	if r.Full() {
+		return total
+	}
+	frames := r.PrefixGOPs * v.GOP.Len()
+	if frames > total {
+		frames = total
+	}
+	return frames
 }
 
 // ID renders a stable replica identifier.
@@ -71,6 +113,26 @@ func (s *Store) Add(r *Replica) error {
 	return nil
 }
 
+// Remove deregisters a replica previously added to this site's store.
+// It reports whether the replica was present. Remaining replicas keep
+// their Seq numbers, so replica IDs stay stable across evictions.
+func (s *Store) Remove(r *Replica) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs := s.byVideo[r.Video]
+	for i, have := range rs {
+		if have == r {
+			s.byVideo[r.Video] = append(rs[:i:i], rs[i+1:]...)
+			if len(s.byVideo[r.Video]) == 0 {
+				delete(s.byVideo, r.Video)
+			}
+			s.replicas--
+			return true
+		}
+	}
+	return false
+}
+
 // Local returns this site's replicas of the video.
 func (s *Store) Local(id media.VideoID) []*Replica {
 	s.mu.RLock()
@@ -92,6 +154,7 @@ type Directory struct {
 	mu     sync.RWMutex
 	stores map[string]*Store
 	caches map[string]map[media.VideoID][]*Replica
+	tiers  map[string]Tier // sites absent from the map are TierOrigin
 
 	remoteLookups uint64
 	cacheHits     uint64
@@ -110,8 +173,33 @@ func NewDirectory() *Directory {
 	return &Directory{
 		stores:       make(map[string]*Store),
 		caches:       make(map[string]map[media.VideoID][]*Replica),
+		tiers:        make(map[string]Tier),
 		cacheEnabled: true,
 	}
+}
+
+// SetTier assigns a site's topology tier. Registering an edge site is a
+// topology change, so the epoch advances; re-asserting the current tier is
+// a no-op (no spurious plan-cache invalidation).
+func (d *Directory) SetTier(site string, t Tier) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.tiers[site] == t {
+		return
+	}
+	if t == TierOrigin {
+		delete(d.tiers, site)
+	} else {
+		d.tiers[site] = t
+	}
+	d.epoch.Add(1)
+}
+
+// Tier returns a site's topology tier; unknown sites default to origin.
+func (d *Directory) Tier(site string) Tier {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.tiers[site]
 }
 
 // SetCaching toggles the non-local metadata cache (the cache on/off

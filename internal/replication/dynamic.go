@@ -85,6 +85,18 @@ func (d *Dynamic) Observe(id media.VideoID, req qos.Requirement) {
 	d.demand[demandKey{id, tier}]++
 }
 
+// Boost injects n units of demand for the video at an exact ladder tier.
+// This is the edge tier's promotion hand-off: a prefix too popular to stay
+// partial but too large to hold fully at the edge turns into full-replica
+// demand here, and the next rebalance materializes the copy on an origin
+// site.
+func (d *Dynamic) Boost(id media.VideoID, tier media.LinkClass, n int) {
+	if _, ok := d.videos[id]; !ok || n <= 0 {
+		return
+	}
+	d.demand[demandKey{id, tier}] += n
+}
+
 // cheapestSatisfyingTier scans the ladder bottom-up for the first tier
 // whose quality satisfies the requirement.
 func cheapestSatisfyingTier(v *media.Video, req qos.Requirement) (media.LinkClass, bool) {

@@ -61,6 +61,12 @@ type Config struct {
 	// StartFrame begins delivery at the given frame index instead of 0:
 	// the resume point of a mid-playback renegotiation.
 	StartFrame int
+	// EndFrame, when positive, stops delivery at the given frame index
+	// instead of the video's end: the prefix leg of a split plan streams
+	// [StartFrame, EndFrame) and completes at the handover boundary, where
+	// the tail leg resumes with StartFrame = EndFrame. Values at or beyond
+	// the video's length mean "stream to the end".
+	EndFrame int
 	// Trace, when set, receives per-GOP progress instants on the session's
 	// trace timeline (nil disables with no cost beyond a nil check).
 	Trace *obs.Scope
@@ -245,7 +251,7 @@ func (s *Session) begin() {
 // stream.
 func (s *Session) submitFarmGOP(first int, deadline simtime.Time) {
 	v := s.cfg.Video
-	total := v.Frames()
+	total := s.totalFrames()
 	if first >= total {
 		return
 	}
@@ -282,6 +288,16 @@ func (s *Session) FarmRouted() bool { return s.cfg.Farm != nil }
 // point for a renegotiation.
 func (s *Session) Position() int { return s.nextFrame }
 
+// totalFrames returns the session's effective last frame bound: the
+// video's length, capped by EndFrame for the prefix leg of a split plan.
+func (s *Session) totalFrames() int {
+	total := s.cfg.Video.Frames()
+	if s.cfg.EndFrame > 0 && s.cfg.EndFrame < total {
+		return s.cfg.EndFrame
+	}
+	return total
+}
+
 // StartedAtFrame returns the GOP-rounded frame index the session actually
 // began delivering from (0 for a fresh playback).
 func (s *Session) StartedAtFrame() int {
@@ -306,7 +322,7 @@ func (s *Session) scheduleGOP() {
 		return
 	}
 	v := s.cfg.Video
-	total := v.Frames()
+	total := s.totalFrames()
 	if s.nextFrame >= total {
 		s.gopDone = true
 		s.maybeFinish()
@@ -473,7 +489,7 @@ func (s *Session) frameDone(size int, at simtime.Time) {
 }
 
 func (s *Session) maybeFinish() {
-	if s.done || !s.gopDone || s.pending > 0 || s.nextFrame < s.cfg.Video.Frames() {
+	if s.done || !s.gopDone || s.pending > 0 || s.nextFrame < s.totalFrames() {
 		return
 	}
 	s.finish()

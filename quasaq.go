@@ -24,6 +24,7 @@ import (
 
 	"quasaq/internal/broker"
 	"quasaq/internal/core"
+	"quasaq/internal/edgecache"
 	"quasaq/internal/faults"
 	"quasaq/internal/gara"
 	"quasaq/internal/guardian"
@@ -142,13 +143,24 @@ type (
 	Stage = core.Stage
 	// StageKind classifies a plan stage.
 	StageKind = core.StageKind
+	// EdgeSite describes one proxy-cache site of the edge tier (name,
+	// capacity, disk bound).
+	EdgeSite = core.EdgeSite
+	// EdgeConfig tunes the edge prefix-cache manager: prefix length in GOPs,
+	// per-site byte budget, admission cadence, and promotion thresholds. The
+	// zero value uses the defaults documented on the fields.
+	EdgeConfig = edgecache.Config
+	// EdgeStats is the edge tier's counter snapshot (prefix installs,
+	// evictions, hits/misses, cooperative neighbor fills, promotions).
+	EdgeStats = edgecache.Stats
 )
 
 // Stage kinds of a plan's execution DAG.
 const (
-	StageSource    = core.StageSource
-	StageTranscode = core.StageTranscode
-	StageDeliver   = core.StageDeliver
+	StageSource      = core.StageSource
+	StageTranscode   = core.StageTranscode
+	StageDeliver     = core.StageDeliver
+	StageTailDeliver = core.StageTailDeliver
 )
 
 // Degradation-ladder rungs for custom GuardianConfig.Ladder values.
@@ -358,7 +370,7 @@ func (db *DB) Explain(sql string) (string, error) {
 
 // Deliver runs the QoS phase for one video: plan, admit, reserve, stream.
 func (db *DB) Deliver(site string, id VideoID, req Requirement) (*Delivery, error) {
-	db.observe(id, req)
+	db.observe(site, id, req)
 	return db.manager.Service(site, id, req, core.ServiceOptions{})
 }
 
@@ -367,7 +379,7 @@ func (db *DB) Deliver(site string, id VideoID, req Requirement) (*Delivery, erro
 // reservations take (move the clock with Advance/RunUntilIdle). Under the
 // default synchronous control plane done fires before DeliverAsync returns.
 func (db *DB) DeliverAsync(site string, id VideoID, req Requirement, done func(*Delivery, error)) {
-	db.observe(id, req)
+	db.observe(site, id, req)
 	db.manager.ServiceAsync(site, id, req, core.ServiceOptions{}, done)
 }
 
@@ -390,7 +402,7 @@ func (db *DB) EnableFastAccounting() error {
 // DeliverTraced is Deliver with a per-frame completion trace of up to n
 // frames (for QoS analysis).
 func (db *DB) DeliverTraced(site string, id VideoID, req Requirement, n int) (*Delivery, error) {
-	db.observe(id, req)
+	db.observe(site, id, req)
 	return db.manager.Service(site, id, req, core.ServiceOptions{TraceFrames: n})
 }
 
@@ -399,7 +411,7 @@ func (db *DB) DeliverTraced(site string, id VideoID, req Requirement, n int) (*D
 // client-side inter-frame delays and path loss. Pass n > 0 to also keep a
 // server-side frame trace.
 func (db *DB) DeliverToClient(site string, id VideoID, req Requirement, n int) (*Delivery, error) {
-	db.observe(id, req)
+	db.observe(site, id, req)
 	path := netsim.DefaultCampusPath()
 	return db.manager.Service(site, id, req, core.ServiceOptions{
 		TraceFrames: n,
@@ -408,9 +420,12 @@ func (db *DB) DeliverToClient(site string, id VideoID, req Requirement, n int) (
 	})
 }
 
-func (db *DB) observe(id VideoID, req Requirement) {
+func (db *DB) observe(site string, id VideoID, req Requirement) {
 	if db.dynamic != nil {
 		db.dynamic.Observe(id, req)
+	}
+	if ec := db.manager.EdgeCache(); ec != nil {
+		ec.Observe(site, id)
 	}
 }
 
@@ -433,6 +448,11 @@ func (db *DB) EnableDynamicReplication(interval Time, batch int) {
 	}
 	db.dynamic.SetLinks(links)
 	db.dynamic.Start(interval, batch)
+	// With an edge tier attached, sustained edge popularity that outgrows a
+	// site's cache budget is handed to the replicator as extra demand.
+	if ec := db.manager.EdgeCache(); ec != nil {
+		ec.SetPromote(db.dynamic.Boost)
+	}
 }
 
 // DynamicReplicasCreated reports how many replicas the online replicator
@@ -464,7 +484,7 @@ func (db *DB) Query(site string, sql string) (*QueryResult, error) {
 	if !q.HasQoS || len(res) == 0 {
 		return out, nil
 	}
-	db.observe(res[0].Video.ID, q.QoS)
+	db.observe(site, res[0].Video.ID, q.QoS)
 	d, err := db.manager.Service(site, res[0].Video.ID, q.QoS, core.ServiceOptions{})
 	if err != nil {
 		return out, err
@@ -710,6 +730,45 @@ func (db *DB) TranscodeStats() FarmStats {
 		return FarmStats{}
 	}
 	return f.Stats()
+}
+
+// EnableEdgeTier provisions cooperative edge proxy-cache sites between the
+// origin servers and the clients: each edge holds popularity-driven video
+// *prefixes* under a byte budget, the plan generator adds edge and split
+// (prefix-from-edge, tail-from-origin) delivery candidates as prefixes
+// appear, admitted split plans reserve both legs all-or-nothing and hand the
+// stream over at the GOP-aligned split frame, and sustained popularity
+// promotes prefixes toward full replicas (in place, or via the dynamic
+// replicator when enabled). Each query site is assigned a home edge
+// round-robin over the given sites. Call after AddVideos and before issuing
+// queries; errors if already enabled. A database that never calls this
+// behaves byte-identically to one without an edge tier.
+func (db *DB) EnableEdgeTier(sites []EdgeSite, cfg EdgeConfig) error {
+	ec, err := db.manager.EnableEdgeTier(sites, cfg)
+	if err != nil {
+		return err
+	}
+	for i, s := range db.Sites() {
+		ec.MapClient(s, sites[i%len(sites)].Name)
+	}
+	if db.dynamic != nil {
+		ec.SetPromote(db.dynamic.Boost)
+	}
+	return nil
+}
+
+// EdgeSites returns the names of the enabled edge proxy sites in
+// configuration order (empty without an edge tier).
+func (db *DB) EdgeSites() []string { return db.cluster.EdgeSites() }
+
+// EdgeStats returns the edge tier's counter snapshot (zero value when
+// EnableEdgeTier was never called).
+func (db *DB) EdgeStats() EdgeStats {
+	ec := db.manager.EdgeCache()
+	if ec == nil {
+		return EdgeStats{}
+	}
+	return ec.Stats()
 }
 
 // ConfigureAdmissionQueue installs (or removes, with the zero config) the
